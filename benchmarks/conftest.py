@@ -1,0 +1,53 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the same rows/series the paper reports (run with ``-s`` to see them inline;
+they are also written to ``benchmarks/out/``).  The study size follows
+``REPRO_SCALE`` (smoke / small / medium / paper); the default is the
+seconds-scale ``smoke`` preset so `pytest benchmarks/ --benchmark-only`
+finishes quickly.  EXPERIMENTS.md records small/medium-scale outputs
+against the paper's numbers.
+
+Figures 3-7 share one §VII weight-optimisation study
+(:func:`repro.experiments.comparison.run_comparison`, memoised per scale):
+whichever figure benchmark runs first pays the full cost; the rest read the
+cache and time near zero.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.scale import SMOKE_SCALE, scale_from_env
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env(default=SMOKE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered artefact and persist it under benchmarks/out/."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark timer.
+
+    Experiment drivers are full studies (many heuristic runs), not
+    microbenchmarks — repeating them for statistics would multiply minutes
+    of work for no insight, so every driver bench uses a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

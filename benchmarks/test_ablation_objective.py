@@ -1,0 +1,63 @@
+"""Ablation — AET-term semantics of the objective function.
+
+DESIGN.md §5 pins the γ·AET/τ term to a *tent* shape (reward peaks at τ,
+decays beyond).  This bench quantifies the alternatives on the same
+scenarios:
+
+* ``clamp`` — reward saturates at τ: nothing ever discourages overshoot;
+* ``raw``  — the uninterpreted formula: overshoot is actively *rewarded*;
+* ``negative`` — the sign the paper tried first and rejected: "very short
+  AET solutions, but with correspondingly lower T100 values" (§IV).
+
+Expected: under clamp/raw the static Max-Max drifts far past τ whenever
+γ > 0 and loses its accepted region, while tent keeps it viable; negative
+produces the paper's short-AET/low-T100 trade.
+"""
+
+from conftest import once
+
+from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.experiments.reporting import format_table
+
+WEIGHTS = Weights.from_alpha_beta(0.5, 0.2)
+
+
+def _run_modes(scale):
+    suite = scale.suite()
+    scenario = suite.scenario(0, 0, "A")
+    rows = []
+    for mode in ("tent", "clamp", "raw", "negative"):
+        slrh = SLRH1(SlrhConfig(weights=WEIGHTS, aet_mode=mode)).map(scenario)
+        maxmax = MaxMaxScheduler(
+            MaxMaxConfig(weights=WEIGHTS, aet_mode=mode)
+        ).map(scenario)
+        rows.append(
+            [mode,
+             slrh.t100, round(slrh.aet, 1), slrh.success,
+             maxmax.t100, round(maxmax.aet, 1), maxmax.success]
+        )
+    return scenario, rows
+
+
+def test_aet_mode_ablation(benchmark, emit, scale):
+    scenario, rows = once(benchmark, lambda: _run_modes(scale))
+    by_mode = {r[0]: r for r in rows}
+    # Raw mode must never leave Max-Max with a *shorter* makespan than tent:
+    # rewarding AET without bound can only stretch schedules.
+    assert by_mode["raw"][5] >= by_mode["tent"][5] - 1e-6
+    # The rejected negative sign compresses the SLRH makespan (§IV).
+    assert by_mode["negative"][2] <= by_mode["tent"][2] + 1e-6
+    emit(
+        "ablation_objective",
+        format_table(
+            ["aet_mode", "SLRH1 T100", "SLRH1 AET", "SLRH1 ok",
+             "MaxMax T100", "MaxMax AET", "MaxMax ok"],
+            rows,
+            title=(
+                f"Ablation: AET-term semantics (tau={scenario.tau:.0f}, "
+                f"{scale.name} scale)"
+            ),
+        ),
+    )

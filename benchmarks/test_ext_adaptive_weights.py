@@ -1,0 +1,60 @@
+"""Extension bench — adaptive Lagrangian multipliers vs offline grid search.
+
+The paper's future work: adjust (α, β, γ) on the fly instead of searching
+offline.  This bench compares the subgradient controller
+(:func:`repro.core.lagrangian.adaptive_slrh`) against the §VII coarse grid
+on the same scenario: T100 achieved and heuristic runs spent.
+"""
+
+from conftest import once
+
+from repro.core.lagrangian import AdaptiveWeightController, adaptive_slrh
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.experiments.reporting import format_table
+from repro.tuning.weight_search import search_weights
+
+
+def _run(scale):
+    suite = scale.suite()
+    rows = []
+    for case in "ABC":
+        scenario = suite.scenario(0, 0, case)
+        adaptive_best, history = adaptive_slrh(
+            scenario, SLRH1, AdaptiveWeightController(max_iters=10)
+        )
+        grid = search_weights(
+            scenario,
+            lambda w: SLRH1(SlrhConfig(weights=w)),
+            coarse_step=scale.coarse_step,
+            fine=False,
+        )
+        rows.append(
+            [case,
+             adaptive_best.t100, len(history), adaptive_best.success,
+             (grid.best_t100 if grid.succeeded else 0), grid.evaluations,
+             grid.succeeded]
+        )
+    return rows
+
+
+def test_adaptive_vs_grid(benchmark, emit, scale):
+    rows = once(benchmark, lambda: _run(scale))
+    for case, a_t100, a_runs, a_ok, g_t100, g_runs, g_ok in rows:
+        if g_ok:
+            # The controller should spend no more runs than the coarse grid.
+            assert a_runs <= g_runs
+            # And land within a reasonable factor of the grid's best T100.
+            if a_ok:
+                assert a_t100 >= 0.5 * g_t100
+    emit(
+        "ext_adaptive_weights",
+        format_table(
+            ["case", "adaptive T100", "adaptive runs", "adaptive ok",
+             "grid T100", "grid runs", "grid ok"],
+            rows,
+            title=(
+                "Extension: adaptive multiplier controller vs offline "
+                f"(alpha, beta) grid search, SLRH-1 ({scale.name} scale)"
+            ),
+        ),
+    )

@@ -1,0 +1,91 @@
+"""Extension bench — non-deterministic arrivals and decision latency.
+
+Two dynamism axes the paper explicitly names but defers:
+
+* **arrival intensity** (§IV: "in a truly dynamic environment, each
+  subtask would arrive at some non-deterministic time") — sweep the mean
+  inter-arrival gap from instantaneous (the paper's simplification) to
+  slow trickle and watch completion/AET respond;
+* **decision latency** (§IV: real-time heuristic execution time forces
+  larger effective ΔT) — sweep the mapper's own reaction delay.
+"""
+
+from conftest import once
+
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.experiments.reporting import format_table
+from repro.sim.validate import validate_schedule
+from repro.workload.arrivals import generate_release_times
+
+WEIGHTS = Weights.from_alpha_beta(0.5, 0.2)
+
+#: Mean inter-arrival gaps as a fraction of the mean slow-class task time.
+ARRIVAL_GAPS = (0.0, 0.02, 0.05, 0.1, 0.25)
+
+#: Decision latencies in cycles.  Note the structural cliff at the horizon
+#: H = 100: a decision that takes effect beyond the receding horizon can
+#: never satisfy the §IV start-within-H rule, so a controller slower than
+#: its own horizon maps *nothing* — the quantitative version of the
+#: paper's warning that field heuristic runtime constrains ΔT (and H).
+LATENCIES = (0, 10, 50, 90, 200)  # cycles
+
+
+def _run(scale):
+    scenario = scale.suite().scenario(0, 0, "A")
+    arrival_rows = []
+    for gap_frac in ARRIVAL_GAPS:
+        gap = gap_frac * 131.0
+        sc = (
+            scenario
+            if gap == 0.0
+            else scenario.with_release_times(
+                generate_release_times(scenario.dag, gap, seed=5)
+            )
+        )
+        result = SLRH1(SlrhConfig(weights=WEIGHTS)).map(sc)
+        validate_schedule(result.schedule)
+        arrival_rows.append(
+            [f"{gap:.1f}s", result.t100, result.schedule.n_mapped,
+             round(result.aet, 1), result.success]
+        )
+    latency_rows = []
+    for latency in LATENCIES:
+        result = SLRH1(
+            SlrhConfig(weights=WEIGHTS, decision_latency_cycles=latency)
+        ).map(scenario)
+        validate_schedule(result.schedule)
+        latency_rows.append(
+            [latency, result.t100, result.schedule.n_mapped,
+             round(result.aet, 1), result.success]
+        )
+    return arrival_rows, latency_rows
+
+
+def test_arrivals_and_latency(benchmark, emit, scale):
+    arrival_rows, latency_rows = once(benchmark, lambda: _run(scale))
+    # Instantaneous arrivals reproduce the paper's setting; the slowest
+    # trickle can only finish later (or fail).
+    assert float(arrival_rows[-1][3]) >= float(arrival_rows[0][3]) - 1e-6
+    # The horizon cliff: latency < H keeps the mapper alive, latency > H
+    # (here 200 > H = 100) makes every candidate horizon-ineligible.
+    by_latency = {r[0]: r for r in latency_rows}
+    assert by_latency[90][2] > 0
+    assert by_latency[200][2] == 0
+    emit(
+        "ext_arrivals",
+        format_table(
+            ["mean gap", "T100", "mapped", "AET", "ok"],
+            arrival_rows,
+            title=(
+                f"Extension: Poisson subtask arrivals, SLRH-1 "
+                f"({scale.name} scale; gap 0 = the paper's simplification)"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["latency (cycles)", "T100", "mapped", "AET", "ok"],
+            latency_rows,
+            title="Extension: mapper decision latency, SLRH-1",
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Extension bench — the full baseline zoo on the paper's three cases.
+
+Beyond the paper's Max-Max, the HC literature's standard single-criterion
+mappers (Min-Min, OLB, MET, greedy MCT) run on the same scenarios, showing
+where the Lagrangian objective earns its complexity.
+"""
+
+from conftest import once
+
+from repro.baselines.greedy import GreedyScheduler
+from repro.baselines.lrnn import LrnnConfig, LrnnScheduler
+from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
+from repro.baselines.minmin import MinMinScheduler
+from repro.baselines.simple import MetScheduler, OlbScheduler
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.experiments.reporting import format_table
+from repro.sim.validate import validate_schedule
+
+WEIGHTS = Weights.from_alpha_beta(0.5, 0.2)
+
+
+def _mappers():
+    return [
+        ("SLRH-1", SLRH1(SlrhConfig(weights=WEIGHTS))),
+        ("Max-Max", MaxMaxScheduler(MaxMaxConfig(weights=WEIGHTS))),
+        ("LRNN", LrnnScheduler(LrnnConfig(weights=WEIGHTS))),
+        ("Min-Min", MinMinScheduler()),
+        ("Greedy", GreedyScheduler()),
+        ("OLB", OlbScheduler()),
+        ("MET", MetScheduler()),
+    ]
+
+
+def _run(scale):
+    suite = scale.suite()
+    rows = []
+    for case in "ABC":
+        scenario = suite.scenario(0, 0, case)
+        for name, mapper in _mappers():
+            result = mapper.map(scenario)
+            validate_schedule(result.schedule)
+            rows.append(
+                [case, name, result.schedule.n_mapped, result.t100,
+                 round(result.aet, 1), result.success,
+                 round(result.heuristic_seconds, 4)]
+            )
+    return rows
+
+
+def test_baseline_zoo(benchmark, emit, scale):
+    rows = once(benchmark, lambda: _run(scale))
+    # MET overloads the fastest machine: its makespan must be the worst (or
+    # tied) among completing mappers in Case A.
+    case_a = [r for r in rows if r[0] == "A" and r[2] == scale.n_tasks]
+    if len(case_a) >= 2:
+        met = next((r for r in case_a if r[1] == "MET"), None)
+        if met is not None:
+            assert met[4] >= min(r[4] for r in case_a) - 1e-6
+    emit(
+        "ext_baseline_zoo",
+        format_table(
+            ["case", "mapper", "mapped", "T100", "AET", "ok", "heuristic s"],
+            rows,
+            title=f"Extension: baseline zoo across cases ({scale.name} scale)",
+        ),
+    )

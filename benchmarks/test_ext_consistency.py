@@ -1,0 +1,61 @@
+"""Extension bench — ETC consistency classes ([AlS00] taxonomy).
+
+The paper's CVB matrices are inconsistent-with-class-structure; the wider
+taxonomy asks how heuristics fare when machine orderings are globally
+consistent vs fully scrambled.  Consistent matrices concentrate the
+minimum-ETC column on one machine, which punishes myopic mappers (MET);
+the SLRH's load-aware pool ordering should degrade more gracefully.
+"""
+
+from conftest import once
+
+import numpy as np
+
+from repro.baselines.simple import MetScheduler
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.experiments.reporting import format_table
+from repro.sim.validate import validate_schedule
+from repro.workload.etc import Consistency, shape_consistency
+from repro.workload.scenario import Scenario
+
+WEIGHTS = Weights.from_alpha_beta(0.5, 0.2)
+
+
+def _run(scale):
+    base = scale.suite().scenario(0, 0, "A")
+    rows = []
+    for consistency in Consistency:
+        etc = shape_consistency(base.etc, consistency, seed=0)
+        scenario = Scenario(
+            grid=base.grid,
+            etc=np.ascontiguousarray(etc),
+            dag=base.dag,
+            data_sizes=base.data_sizes,
+            tau=base.tau,
+            name=f"{base.name}-{consistency.value}",
+        )
+        slrh = SLRH1(SlrhConfig(weights=WEIGHTS)).map(scenario)
+        met = MetScheduler().map(scenario)
+        validate_schedule(slrh.schedule)
+        validate_schedule(met.schedule)
+        rows.append(
+            [consistency.value,
+             slrh.t100, slrh.schedule.n_mapped, round(slrh.aet, 1),
+             met.t100, met.schedule.n_mapped, round(met.aet, 1)]
+        )
+    return rows
+
+
+def test_consistency_classes(benchmark, emit, scale):
+    rows = once(benchmark, lambda: _run(scale))
+    assert len(rows) == 3
+    emit(
+        "ext_consistency",
+        format_table(
+            ["consistency", "SLRH1 T100", "SLRH1 mapped", "SLRH1 AET",
+             "MET T100", "MET mapped", "MET AET"],
+            rows,
+            title=f"Extension: ETC consistency classes ({scale.name} scale)",
+        ),
+    )

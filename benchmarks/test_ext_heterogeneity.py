@@ -1,0 +1,72 @@
+"""Extension bench — the [AlS00] heterogeneity quadrants.
+
+The ETC literature the paper builds on evaluates every heuristic over the
+2×2 heterogeneity grid: {high, low} task variance × {high, low} machine
+variance.  The paper fixes one (moderate) point; this bench sweeps the
+quadrants with everything else held at the paper's protocol, showing how
+robust the SLRH's weight point is to workload statistics.
+"""
+
+from conftest import once
+
+import numpy as np
+
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.experiments.reporting import format_table
+from repro.sim.validate import validate_schedule
+from repro.workload.etc import EtcSpec, generate_etc
+from repro.workload.scenario import Scenario
+
+WEIGHTS = Weights.from_alpha_beta(0.5, 0.2)
+
+#: The four quadrants: (label, task CV, machine CV).  [AlS00] uses ≈0.35
+#: as "high" and ≈0.1 as "low" for the gamma method.
+QUADRANTS = (
+    ("hi-task / hi-machine", 0.35, 0.35),
+    ("hi-task / lo-machine", 0.35, 0.10),
+    ("lo-task / hi-machine", 0.10, 0.35),
+    ("lo-task / lo-machine", 0.10, 0.10),
+)
+
+
+def _run(scale):
+    base = scale.suite().scenario(0, 0, "A")
+    rows = []
+    for label, task_cv, machine_cv in QUADRANTS:
+        spec = EtcSpec(task_cv=task_cv, machine_cv=machine_cv)
+        etc = generate_etc(base.n_tasks, base.grid, spec, seed=99)
+        scenario = Scenario(
+            grid=base.grid,
+            etc=np.ascontiguousarray(etc),
+            dag=base.dag,
+            data_sizes=base.data_sizes,
+            tau=base.tau,
+            name=f"het-{label}",
+        )
+        result = SLRH1(SlrhConfig(weights=WEIGHTS)).map(scenario)
+        validate_schedule(result.schedule)
+        rows.append(
+            [label, result.t100, result.schedule.n_mapped,
+             round(result.aet, 1), result.success]
+        )
+    return rows
+
+
+def test_heterogeneity_quadrants(benchmark, emit, scale):
+    rows = once(benchmark, lambda: _run(scale))
+    assert len(rows) == 4
+    # Every quadrant must at least be schedulable (mapped > half).
+    for label, t100, mapped, aet, ok in rows:
+        assert mapped >= scale.n_tasks // 2, f"{label} collapsed"
+    emit(
+        "ext_heterogeneity",
+        format_table(
+            ["quadrant", "T100", "mapped", "AET", "ok"],
+            rows,
+            title=(
+                f"Extension: [AlS00] heterogeneity quadrants, SLRH-1 at the "
+                f"paper's weight point ({scale.name} scale)"
+            ),
+        ),
+    )

@@ -1,0 +1,50 @@
+"""The paper's H (time-horizon) claim, §VII.
+
+"Similar analyses were performed for the SLRH time horizon, H. ... the
+impact of H on both T100 and execution time was found to be negligible."
+This bench reproduces the T100 half of that finding exactly: a 40× sweep
+of H around the paper's default (100 cycles) leaves T100 within a small
+band.  Runtime agreement is partial at reduced scale: once H grows past a
+task's execution time, a machine can accept its *next* subtask before
+going idle, cutting the tick count (and hence runtime) by several × —
+visible here because reduced-τ runs have few ticks to begin with, whereas
+at the paper's τ = 34 075 s the effect washes out.
+"""
+
+from conftest import once
+
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1
+from repro.experiments.reporting import format_table
+from repro.tuning.sweeps import sweep_horizon
+
+WEIGHTS = Weights.from_alpha_beta(0.5, 0.2)
+H_VALUES = (25, 50, 100, 250, 1000)
+
+
+def _run(scale):
+    scenario = scale.suite().scenario(0, 0, "A")
+    return sweep_horizon(SLRH1, scenario, WEIGHTS, values=H_VALUES)
+
+
+def test_horizon_negligible(benchmark, emit, scale):
+    points = once(benchmark, lambda: _run(scale))
+    t100s = [p.t100 for p in points]
+    times = [p.heuristic_seconds for p in points]
+    # The paper's claim, asserted on T100: at most a small band across a
+    # 40x H range.  Runtime stays within an order of magnitude (see module
+    # docstring for the reduced-scale caveat).
+    assert max(t100s) - min(t100s) <= max(3, scale.n_tasks // 6)
+    assert max(times) / min(times) < 10.0
+    emit(
+        "ext_horizon",
+        format_table(
+            ["H (cycles)", "T100", "mapped", "heuristic s", "ok"],
+            [[p.value, p.t100, p.mapped, round(p.heuristic_seconds, 4), p.success]
+             for p in points],
+            title=(
+                f"Horizon sweep, SLRH-1 ({scale.name} scale) — paper: impact "
+                "of H on T100 and execution time 'found to be negligible'"
+            ),
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Extension bench — schedule-quality diagnostics per heuristic.
+
+Beyond T100, how *tight* are the schedules each heuristic produces?
+Reported per heuristic on the Case A scenario:
+
+* **efficiency** — critical-path lower bound / achieved makespan
+  (1.0 = provably time-optimal);
+* **critical chain** — number of zero-slack assignments (long chains mean
+  the schedule is serialization-dominated);
+* **imbalance** — max/mean machine load.
+"""
+
+from conftest import once
+
+from repro.analysis import compute_stats, critical_chain, efficiency
+from repro.baselines.greedy import GreedyScheduler
+from repro.baselines.lrnn import LrnnConfig, LrnnScheduler
+from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
+from repro.baselines.minmin import MinMinScheduler
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.experiments.reporting import format_table
+WEIGHTS = Weights.from_alpha_beta(0.5, 0.2)
+
+
+def _mappers():
+    return [
+        ("SLRH-1", SLRH1(SlrhConfig(weights=WEIGHTS))),
+        ("Max-Max", MaxMaxScheduler(MaxMaxConfig(weights=WEIGHTS))),
+        ("LRNN", LrnnScheduler(LrnnConfig(weights=WEIGHTS))),
+        ("Min-Min", MinMinScheduler()),
+        ("Greedy", GreedyScheduler()),
+    ]
+
+
+def _run(scale):
+    scenario = scale.suite().scenario(0, 0, "A")
+    rows = []
+    for name, mapper in _mappers():
+        result = mapper.map(scenario)
+        if not result.complete:
+            rows.append([name, "-", "-", "-", result.schedule.n_mapped])
+            continue
+        stats = compute_stats(result.schedule)
+        rows.append(
+            [name,
+             round(efficiency(result.schedule), 3),
+             len(critical_chain(result.schedule)),
+             round(stats.imbalance, 2),
+             result.schedule.n_mapped]
+        )
+    return rows
+
+
+def test_schedule_quality(benchmark, emit, scale):
+    rows = once(benchmark, lambda: _run(scale))
+    for name, eff, chain, imbalance, mapped in rows:
+        if eff != "-":
+            assert 0.0 < eff <= 1.0 + 1e-9
+            assert chain >= 1
+    emit(
+        "ext_schedule_quality",
+        format_table(
+            ["mapper", "efficiency", "critical chain", "imbalance", "mapped"],
+            rows,
+            title=(
+                f"Extension: schedule-quality diagnostics, Case A "
+                f"({scale.name} scale)"
+            ),
+        ),
+    )

@@ -1,0 +1,42 @@
+"""Extension bench — τ tightness sweep.
+
+The paper fixes τ = 34 075 s; this sweep varies the time budget around the
+calibrated value and maps the feasibility/quality frontier: below some
+slack the SLRH cannot complete; above it, extra time converts secondaries
+into primaries until T100 saturates.
+"""
+
+from conftest import once
+
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1
+from repro.experiments.reporting import format_table
+from repro.tuning.sweeps import sweep_tau_slack
+
+WEIGHTS = Weights.from_alpha_beta(0.5, 0.2)
+SLACKS = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0)
+
+
+def _run(scale):
+    scenario = scale.suite().scenario(0, 0, "A")
+    return scenario, sweep_tau_slack(SLRH1, scenario, WEIGHTS, slacks=SLACKS)
+
+
+def test_tau_sensitivity(benchmark, emit, scale):
+    scenario, points = once(benchmark, lambda: _run(scale))
+    by_slack = {p.value: p for p in points}
+    # More time never maps fewer subtasks at the extremes of the sweep.
+    assert by_slack[400].mapped >= by_slack[25].mapped
+    # A generous budget completes.
+    assert by_slack[400].mapped == scale.n_tasks
+    emit(
+        "ext_tau_sensitivity",
+        format_table(
+            ["slack %", "T100", "mapped", "AET", "ok"],
+            [[p.value, p.t100, p.mapped, round(p.aet, 1), p.success] for p in points],
+            title=(
+                f"Extension: tau tightness sweep, SLRH-1 "
+                f"(base tau={scenario.tau:.0f}s, {scale.name} scale)"
+            ),
+        ),
+    )

@@ -1,0 +1,24 @@
+"""Figure 2 — impact of the ΔT parameter on SLRH-1.
+
+Paper shape: T100 is relatively insensitive to ΔT over mid-range values but
+degrades for very large ΔT (idle gaps); heuristic execution time rises
+steeply as ΔT → 1 (many no-op invocations).
+"""
+
+from conftest import once
+
+from repro.experiments.figures import figure2_delta_t_sweep
+
+
+def test_figure2_delta_t_sweep(benchmark, emit, scale):
+    result = once(benchmark, lambda: figure2_delta_t_sweep(scale))
+    for points in result.series:
+        by_value = {p.value: p for p in points}
+        smallest, largest = min(by_value), max(by_value)
+        # Runtime blows up at small dT...
+        assert by_value[smallest].heuristic_seconds > by_value[largest].heuristic_seconds
+        # ...while T100 stays in the same ballpark over the mid-range.
+        mid = [p.t100 for p in points if 5 <= p.value <= 100]
+        if len(mid) >= 2:
+            assert max(mid) - min(mid) <= max(3, scale.n_tasks // 4)
+    emit("figure2", result.render())

@@ -1,0 +1,33 @@
+"""Figure 3 — sensitivity of the heuristics to the objective weights.
+
+Paper shape: the optimal (α, β) for SLRH-1 and SLRH-3 cluster tightly and
+track each other; Max-Max's optima scatter widely (requiring exhaustive
+search); SLRH-2 rarely produces a successful mapping and was dropped from
+the paper's plots.
+
+This is the expensive §VII study; figures 4-7 reuse its cached result.
+"""
+
+from conftest import once
+
+from repro.experiments.figures import figure3_weight_sensitivity
+
+
+def test_figure3_weight_sensitivity(benchmark, emit, scale):
+    result = once(benchmark, lambda: figure3_weight_sensitivity(scale))
+    comparison = result.comparison
+    # Every plotted heuristic found at least one accepted point per case.
+    for heuristic in ("SLRH-1", "SLRH-3"):
+        for case in "ABC":
+            assert comparison.cell(heuristic, case).success_rate > 0.0, (
+                f"{heuristic} found no accepted (alpha, beta) in case {case}"
+            )
+    emit("figure3", result.render())
+    rate = result.slrh2_success_rate()
+    if rate is not None:
+        emit(
+            "figure3_slrh2",
+            f"SLRH-2 mapping success rate across cases: {rate:.2f} "
+            "(paper: 'rarely produce a successful mapping' at |T|=1024; "
+            "small pools at reduced scale blunt the stale-pool pathology)",
+        )

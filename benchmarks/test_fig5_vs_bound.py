@@ -1,0 +1,21 @@
+"""Figure 5 — heuristic performance vs the calculated upper bound.
+
+Paper shape: SLRH-1 above 60 % of the bound in Case A and slightly ahead of
+Max-Max there; SLRH-3 clearly poorer in Case A; ratios drop with machine
+loss roughly independently of the lost machine's type.
+"""
+
+from conftest import once
+
+from repro.experiments.figures import figure5_vs_upper_bound
+
+
+def test_figure5_vs_bound(benchmark, emit, scale):
+    result = once(benchmark, lambda: figure5_vs_upper_bound(scale))
+    ratio = result.value("SLRH-1", "A")
+    assert 0.0 <= ratio <= 1.0 + 1e-9
+    # The paper's headline: SLRH-1 achieves better than 60 % of the bound in
+    # Case A.  (Reduced scales typically land higher.)
+    assert ratio > 0.6
+    assert result.value("SLRH-1", "A") >= result.value("SLRH-3", "A") - 1e-9
+    emit("figure5", result.render())

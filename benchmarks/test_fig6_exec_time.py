@@ -1,0 +1,24 @@
+"""Figure 6 — average heuristic execution time.
+
+Paper shape: Max-Max's runtime is essentially constant across cases (it is
+static); SLRH-3 is the slowest and most sensitive to machine loss; SLRH-1
+is markedly cheaper than SLRH-3.  Absolute values are hardware- and
+scale-dependent (the paper reports hundreds of seconds on Python 2.3.3 /
+dual Xeon at |T| = 1024) — relative ordering is the reproduced quantity.
+"""
+
+from conftest import once
+
+from repro.experiments.figures import figure6_execution_time
+
+
+def test_figure6_execution_time(benchmark, emit, scale):
+    result = once(benchmark, lambda: figure6_execution_time(scale))
+    for case in "ABC":
+        assert result.value("SLRH-1", case) > 0.0
+        assert result.value("Max-Max", case) > 0.0
+    # Max-Max's spread across cases stays within an order of magnitude
+    # (the paper: "relatively constant").
+    mm = [result.value("Max-Max", c) for c in "ABC"]
+    assert max(mm) / min(mm) < 10.0
+    emit("figure6", result.render())

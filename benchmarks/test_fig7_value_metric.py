@@ -1,0 +1,22 @@
+"""Figure 7 — T100 per unit of heuristic execution time.
+
+Paper shape: the speed-adjusted metric strongly favours SLRH-1 over SLRH-3;
+SLRH-1 and Max-Max are comparable in Cases A and B, with the dynamic SLRH-1
+pulling ahead when a machine is lost thanks to its faster execution.
+"""
+
+from conftest import once
+
+from repro.experiments.figures import figure7_value_metric
+
+
+def test_figure7_value_metric(benchmark, emit, scale):
+    result = once(benchmark, lambda: figure7_value_metric(scale))
+    for case in "ABC":
+        v1 = result.value("SLRH-1", case)
+        v3 = result.value("SLRH-3", case)
+        assert v1 > 0.0 and v3 > 0.0
+    # The paper's headline comparison: SLRH-1 beats SLRH-3 on value per
+    # second in the all-machines case.
+    assert result.value("SLRH-1", "A") > result.value("SLRH-3", "A")
+    emit("figure7", result.render())

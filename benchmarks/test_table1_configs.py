@@ -1,0 +1,47 @@
+"""Tables 1 & 2 — grid configurations and machine parameters.
+
+Pure constants in the paper; the bench verifies and prints them so the
+regenerated report is complete.
+"""
+
+from conftest import once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table1_configurations, table2_machine_parameters
+
+
+def test_table1_configurations(benchmark, emit):
+    rows = once(benchmark, table1_configurations)
+    assert {r["case"]: (r["n_fast"], r["n_slow"]) for r in rows} == {
+        "A": (2, 2),
+        "B": (2, 1),
+        "C": (1, 2),
+    }
+    emit(
+        "table1",
+        format_table(
+            ["case", "# fast", "# slow"],
+            [[r["case"], r["n_fast"], r["n_slow"]] for r in rows],
+            title="Table 1. Simulation configurations (paper: identical)",
+        ),
+    )
+
+
+def test_table2_machine_parameters(benchmark, emit):
+    rows = once(benchmark, table2_machine_parameters)
+    by_class = {r["class"]: r for r in rows}
+    assert by_class["fast"]["B_energy_units"] == 580.0
+    assert by_class["slow"]["E_units_per_s"] == 0.001
+    emit(
+        "table2",
+        format_table(
+            ["class", "B(j)", "C(j) u/s", "E(j) u/s", "BW Mbit/s"],
+            [
+                [r["class"], r["B_energy_units"], r["C_units_per_s"],
+                 r["E_units_per_s"], r["BW_mbit_per_s"]]
+                for r in rows
+            ],
+            title="Table 2. Machine parameters (paper: identical; reduced scales "
+            "multiply B(j) by |T|/1024)",
+        ),
+    )

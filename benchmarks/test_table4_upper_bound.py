@@ -1,0 +1,33 @@
+"""Table 4 — upper bound on T100 per ETC matrix per case.
+
+Paper shape: Cases A and B reach the full |T| = 1024 for (almost) every ETC
+matrix; Case C is cycles-limited well below |T| (654-900).  The bench
+asserts the same ordering: bound(C) ≤ bound(B), bound(C) ≤ bound(A).
+"""
+
+from conftest import once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table4_upper_bound
+
+
+def test_table4_upper_bound(benchmark, emit, scale):
+    rows = once(benchmark, lambda: table4_upper_bound(scale))
+    for r in rows:
+        assert r["case_C"] <= r["case_A"]
+        assert r["case_C"] <= r["case_B"]
+        assert r["case_B"] <= r["case_A"]
+    emit(
+        "table4",
+        format_table(
+            ["ETC", "Case A", "Case B", "Case C", "C limited by"],
+            [
+                [r["etc"], r["case_A"], r["case_B"], r["case_C"], r["case_C_limit"]]
+                for r in rows
+            ],
+            title=(
+                f"Table 4. Upper bound on T100 ({scale.name} scale, |T|={scale.n_tasks})\n"
+                "paper shape: A=B=|T| (full), C reduced and cycles-limited"
+            ),
+        ),
+    )

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Adaptive multipliers in a changing field deployment (paper §VIII
+future work, implemented).
+
+Story: a sensor-fusion application (96 subtasks) runs on an ad hoc grid.
+Mission control does not know good objective weights in advance — and the
+paper showed the optimal α shifts by >50 % when the grid changes.  The
+:func:`adaptive_slrh` controller starts from the neutral simplex centre and
+adjusts the multipliers run-over-run from observed constraint violations:
+
+* over-τ runs shift weight from γ to α;
+* incomplete (resource-starved) runs shift weight from α to β;
+* successful runs probe a greedier α.
+
+The demo runs the controller on Case A, then — after the grid loses a fast
+machine (Case C) — shows it re-converging to a different weight point,
+the on-the-fly adjustment the paper calls for.
+
+Run:  python examples/adaptive_field_deployment.py    (~1 minute)
+"""
+
+from repro import SLRH1, paper_scaled_suite
+from repro.core.lagrangian import AdaptiveWeightController, adaptive_slrh
+
+N_TASKS = 96
+
+
+def report(label: str, best, history) -> None:
+    print(f"{label}:")
+    for i, r in enumerate(history, 1):
+        w = r.weights
+        print(f"  run {i:2d}: (a={w.alpha:.2f}, b={w.beta:.2f}, g={w.gamma:.2f})"
+              f"  mapped={r.schedule.n_mapped:3d}  T100={r.t100:3d}"
+              f"  AET={r.aet:7.0f}s  ok={r.success}")
+    w = best.weights
+    print(f"  => best: T100={best.t100} at (a={w.alpha:.2f}, b={w.beta:.2f}, "
+          f"g={w.gamma:.2f})\n")
+
+
+def main() -> None:
+    suite = paper_scaled_suite(N_TASKS, n_etc=1, n_dag=1, seed=21)
+    controller = AdaptiveWeightController(max_iters=8)
+
+    scenario_a = suite.scenario(0, 0, "A")
+    best_a, history_a = adaptive_slrh(scenario_a, SLRH1, controller)
+    report(f"Case A (all machines, tau={scenario_a.tau:.0f}s)", best_a, history_a)
+
+    scenario_c = suite.scenario(0, 0, "C")
+    best_c, history_c = adaptive_slrh(scenario_c, SLRH1, controller)
+    report("Case C (fast machine lost)", best_c, history_c)
+
+    da = best_a.weights.alpha - best_c.weights.alpha
+    print(f"alpha shift after machine loss: {da:+.2f} "
+          "(the paper: optimal alpha changes by >50% between Cases A and C, "
+          "motivating exactly this kind of online adjustment)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Structured application workloads on an ad hoc grid.
+
+The paper's workload is a randomised layered DAG; real field applications
+have recognisable dependence shapes.  This example maps four classic
+structures — a sensor-fusion reduction tree, a stencil wavefront, an FFT
+butterfly and a map-reduce shuffle — with SLRH-1 on the Case A grid, and
+compares how each topology's parallelism profile plays against the grid's
+energy/time constraints (wide graphs exploit all four machines; chains and
+trees serialize onto the fast pair).
+
+Run:  python examples/structured_workloads.py
+"""
+
+import numpy as np
+
+from repro import (
+    SLRH1,
+    compute_stats,
+    paper_scaled_grid,
+    upper_bound_strict,
+    validate_schedule,
+)
+from repro.baselines.greedy import calibrate_tau
+from repro.core.lagrangian import AdaptiveWeightController, adaptive_slrh
+from repro.workload.data import DataSpec, generate_data_sizes
+from repro.workload.etc import EtcSpec, generate_etc
+from repro.workload.scenario import Scenario
+from repro.workload.topologies import diamond_mesh, fft, in_tree, map_reduce
+
+
+def build_scenario(name, dag, seed):
+    grid = paper_scaled_grid(dag.n_tasks)
+    etc = generate_etc(dag.n_tasks, grid, EtcSpec(), seed=seed)
+    scenario = Scenario(
+        grid=grid,
+        etc=etc,
+        dag=dag,
+        data_sizes=generate_data_sizes(dag, DataSpec(), seed=seed + 1),
+        tau=1e9,  # placeholder; calibrated below
+        name=name,
+    )
+    return scenario.with_tau(calibrate_tau(scenario, slack=1.6))
+
+
+def main() -> None:
+    workloads = [
+        ("fusion tree (in_tree d=5)", in_tree(depth=5)),          # 31 tasks
+        ("stencil wavefront (7x7)", diamond_mesh(7)),             # 49 tasks
+        ("FFT butterfly (16-pt)", fft(16)),                       # 80 tasks
+        ("map-reduce (30 -> 4)", map_reduce(30, 4)),              # 35 tasks
+    ]
+    header = (f"{'workload':>26} {'|T|':>4} {'depth':>5} {'T100':>4} "
+              f"{'UB':>4} {'AET/tau':>7} {'imbal':>6} {'ok':>5}")
+    print(header)
+    print("-" * len(header))
+    for name, dag in workloads:
+        scenario = build_scenario(name, dag, seed=len(name))
+        # Weights are workload-dependent (the paper's Figure 3 point);
+        # let the adaptive controller find them per topology.
+        result, _history = adaptive_slrh(
+            scenario, SLRH1, AdaptiveWeightController(max_iters=6)
+        )
+        validate_schedule(result.schedule)
+        stats = compute_stats(result.schedule)
+        bound = upper_bound_strict(scenario)
+        print(f"{name:>26} {scenario.n_tasks:>4} {dag.depth:>5} "
+              f"{result.t100:>4} {bound:>4} "
+              f"{result.aet / scenario.tau:>7.2f} {stats.imbalance:>6.2f} "
+              f"{str(result.success):>5}")
+    print(
+        "\nwide graphs (FFT ranks, reduction trees) let SLRH-1 spread work and"
+        "\nmeet tau; serial dependence chains (the 13-deep wavefront) and hot"
+        "\nshuffles fight the clock-driven tick discipline — each tick maps one"
+        "\nsubtask per idle machine, so a long critical path accumulates idle"
+        "\ngaps and can overrun a tight tau even at the controller's best"
+        "\nweights.  That failure mode is the paper's motivation for pairing"
+        "\nthe heuristic with per-environment weight adjustment."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Top-level CLI alias: ``python -m repro`` → the experiments report CLI."""
+
+import sys
+
+from repro.experiments.__main__ import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Post-hoc schedule analytics: load balance, energy profiles, Gantt text.
+
+These helpers consume finished :class:`~repro.sim.schedule.Schedule` objects
+(or :class:`~repro.core.slrh.MappingResult`) and produce the derived views
+a practitioner inspects: per-machine load and imbalance, energy consumption
+over time, version mix, and a monospace Gantt chart for small instances.
+"""
+
+from repro.analysis.critical_path import (
+    critical_chain,
+    critical_path_bound,
+    efficiency,
+    realized_critical_path_bound,
+    schedule_slack,
+)
+from repro.analysis.gantt import render_gantt
+from repro.analysis.stats import (
+    EnergyProfile,
+    ScheduleStats,
+    compute_stats,
+    energy_profile,
+)
+
+__all__ = [
+    "ScheduleStats",
+    "compute_stats",
+    "EnergyProfile",
+    "energy_profile",
+    "render_gantt",
+    "critical_path_bound",
+    "realized_critical_path_bound",
+    "efficiency",
+    "schedule_slack",
+    "critical_chain",
+]

@@ -1,0 +1,134 @@
+"""Critical-path analytics: makespan lower bounds and schedule slack.
+
+The §VI upper bound limits *T100*; nothing in the paper bounds the
+*makespan*.  These helpers fill that gap and power schedule-quality
+diagnostics:
+
+* :func:`critical_path_bound` — a provable lower bound on any complete
+  mapping's AET: along every DAG path, each subtask costs at least its
+  best-machine execution time (at the given version policy), and inter-task
+  data must either move at the system's *fastest* link or be co-located
+  (cost 0, the relaxation).  The longest such path bounds the makespan
+  from below.
+* :func:`schedule_slack` — per-task slack of a concrete schedule: how much
+  a task could slip without moving the makespan, computed over the
+  realised dependence graph (DAG edges plus same-machine seriation).
+  Zero-slack tasks form the schedule's critical chain.
+* :func:`efficiency` — bound/achieved makespan ratio in (0, 1]; 1.0 means
+  the schedule is provably optimal in time.
+"""
+
+from __future__ import annotations
+
+from repro.sim.schedule import Schedule
+from repro.workload.scenario import Scenario
+from repro.workload.versions import PRIMARY, Version
+
+
+def critical_path_bound(scenario: Scenario, version: Version = PRIMARY) -> float:
+    """Lower bound on the AET of any schedule running every subtask at
+    *version* (PRIMARY gives the bound for all-primary mappings; SECONDARY
+    bounds any complete mapping, since secondary is the cheapest way to
+    run anything)."""
+    etc_best = scenario.etc.min(axis=1) * version.scale
+    # Communication relaxation: zero (co-location is always permitted).
+    dag = scenario.dag
+    finish = [0.0] * scenario.n_tasks
+    for task in dag.topological_order:
+        ready = max(
+            (finish[p] for p in dag.parents[task]),
+            default=0.0,
+        )
+        ready = max(ready, scenario.release(task))
+        finish[task] = ready + float(etc_best[task])
+    return max(finish) if finish else 0.0
+
+
+def realized_critical_path_bound(schedule: Schedule) -> float:
+    """Makespan lower bound for *this schedule's own version choices*.
+
+    Same relaxation as :func:`critical_path_bound` (best machine per task,
+    free communication) but each mapped subtask is costed at the version
+    the schedule actually committed — the fair yardstick for judging how
+    much of a schedule's makespan is unavoidable dependence vs scheduling
+    loss.  Unmapped subtasks cost their secondary (cheapest) version.
+    """
+    scenario = schedule.scenario
+    etc_best = scenario.etc.min(axis=1)
+    dag = scenario.dag
+    finish = [0.0] * scenario.n_tasks
+    for task in dag.topological_order:
+        a = schedule.assignments.get(task)
+        scale = a.version.scale if a is not None else Version.SECONDARY.scale
+        ready = max((finish[p] for p in dag.parents[task]), default=0.0)
+        ready = max(ready, scenario.release(task))
+        finish[task] = ready + float(etc_best[task]) * scale
+    return max(finish) if finish else 0.0
+
+
+def efficiency(schedule: Schedule, version: Version | None = None) -> float:
+    """Bound/achieved makespan ratio for a complete schedule (≤ 1).
+
+    With *version* ``None`` (default) the bound uses the schedule's own
+    version choices (:func:`realized_critical_path_bound`); passing an
+    explicit version compares against the uniform-version bound instead.
+    """
+    if not schedule.is_complete:
+        raise ValueError("efficiency is defined for complete schedules only")
+    if schedule.makespan <= 0:
+        return 1.0
+    if version is None:
+        bound = realized_critical_path_bound(schedule)
+    else:
+        bound = critical_path_bound(schedule.scenario, version)
+    return bound / schedule.makespan
+
+
+def schedule_slack(schedule: Schedule) -> dict[int, float]:
+    """Per-task slack against the schedule's own makespan.
+
+    Edges considered: DAG precedence (child start ≥ parent finish and
+    ≥ each incoming transfer's finish, which itself follows the parent)
+    and same-machine seriation (next task on the machine starts no earlier
+    than the previous finishes).  Slack(t) = latest-allowable-finish(t) −
+    actual finish(t); tasks with ~zero slack form the critical chain.
+    """
+    assignments = schedule.assignments
+    if not assignments:
+        return {}
+    makespan = schedule.makespan
+
+    # Successor lists under both edge families, with the minimum gap the
+    # successor's start keeps from this task's finish.
+    succs: dict[int, list[tuple[int, float]]] = {t: [] for t in assignments}
+    dag = schedule.scenario.dag
+    for t, a in assignments.items():
+        for c in dag.children[t]:
+            ca = assignments.get(c)
+            if ca is not None:
+                succs[t].append((c, ca.start - a.finish))
+    by_machine: dict[int, list] = {}
+    for t, a in assignments.items():
+        by_machine.setdefault(a.machine, []).append((a.start, t))
+    for entries in by_machine.values():
+        entries.sort()
+        for (s1, t1), (s2, t2) in zip(entries, entries[1:]):
+            gap = assignments[t2].start - assignments[t1].finish
+            succs[t1].append((t2, gap))
+
+    # Latest allowable finish, backward over reverse-topological order of
+    # actual finish times.
+    laf = {t: makespan for t in assignments}
+    for t in sorted(assignments, key=lambda x: -assignments[x].finish):
+        for c, gap in succs[t]:
+            candidate = laf[c] - assignments[c].duration - gap
+            if candidate < laf[t]:
+                laf[t] = candidate
+    return {t: laf[t] - assignments[t].finish for t in assignments}
+
+
+def critical_chain(schedule: Schedule, tolerance: float = 1e-6) -> list[int]:
+    """Tasks with (near-)zero slack, ordered by start time."""
+    slack = schedule_slack(schedule)
+    chain = [t for t, s in slack.items() if s <= tolerance]
+    return sorted(chain, key=lambda t: schedule.assignments[t].start)

@@ -1,0 +1,64 @@
+"""Monospace Gantt rendering for small schedules.
+
+Useful when debugging a mapping by eye: one row per machine execution
+calendar (plus optional rows for the comm channels), time quantised into a
+fixed number of character columns.  Task ids are printed where they fit;
+busy time without room for a label renders as ``#``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.schedule import Schedule
+
+
+def _paint(row: list[str], start: float, end: float, label: str, scale: float) -> None:
+    c0 = int(round(start * scale))
+    c1 = max(c0 + 1, int(round(end * scale)))
+    c1 = min(c1, len(row))
+    for c in range(c0, c1):
+        if 0 <= c < len(row):
+            row[c] = "#"
+    text = label[: c1 - c0]
+    for k, ch in enumerate(text):
+        if 0 <= c0 + k < len(row):
+            row[c0 + k] = ch
+
+
+def render_gantt(
+    schedule: Schedule,
+    width: int = 100,
+    channels: bool = False,
+) -> str:
+    """Render *schedule* as a monospace Gantt chart.
+
+    Parameters
+    ----------
+    width:
+        Number of character columns the makespan is quantised into.
+    channels:
+        Also render each machine's outgoing-channel activity.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    scenario = schedule.scenario
+    horizon = max(schedule.makespan, 1e-9)
+    scale = width / horizon
+
+    exec_rows = [[" "] * width for _ in range(scenario.n_machines)]
+    out_rows = [[" "] * width for _ in range(scenario.n_machines)]
+    for a in schedule.assignments.values():
+        label = f"{a.task}" if a.version.counts_toward_t100 else f"{a.task}'"
+        _paint(exec_rows[a.machine], a.start, a.finish, label, scale)
+        for c in a.comms:
+            _paint(out_rows[c.src], c.start, c.finish, "~", scale)
+
+    name_width = max(len(m.name) for m in scenario.grid) + 5
+    lines = [
+        f"t = 0 .. {horizon:.1f}s, {width} cols "
+        f"(secondary versions marked with ')"
+    ]
+    for j, machine in enumerate(scenario.grid):
+        lines.append(f"{machine.name:>{name_width}} |{''.join(exec_rows[j])}|")
+        if channels:
+            lines.append(f"{machine.name + ' out':>{name_width}} |{''.join(out_rows[j])}|")
+    return "\n".join(lines)

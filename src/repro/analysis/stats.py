@@ -1,0 +1,134 @@
+"""Aggregate statistics over a finished schedule."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.sim.schedule import Schedule
+from repro.workload.versions import Version
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """One-glance summary of a mapping's quality and balance."""
+
+    n_mapped: int
+    t100: int
+    makespan: float
+    total_energy: float
+    #: Execution seconds committed per machine.
+    load: tuple[float, ...]
+    #: Fraction of makespan each machine spends computing.
+    utilisation: tuple[float, ...]
+    #: max(load) / mean(load) — 1.0 is perfectly balanced.
+    imbalance: float
+    #: Fraction of battery consumed per machine.
+    energy_fraction: tuple[float, ...]
+    #: Mapped subtasks per machine.
+    tasks_per_machine: tuple[int, ...]
+    #: Total bits moved between machines and the time spent doing so.
+    comm_bits: float
+    comm_seconds: float
+
+    @property
+    def version_mix(self) -> float:
+        """Fraction of mapped subtasks at the primary version."""
+        return self.t100 / self.n_mapped if self.n_mapped else 0.0
+
+
+def compute_stats(schedule: Schedule) -> ScheduleStats:
+    """Derive :class:`ScheduleStats` from *schedule* (no mutation)."""
+    scenario = schedule.scenario
+    n = scenario.n_machines
+    load = [schedule.machine_load(j) for j in range(n)]
+    counts = [0] * n
+    comm_bits = 0.0
+    comm_seconds = 0.0
+    for a in schedule.assignments.values():
+        counts[a.machine] += 1
+        for c in a.comms:
+            comm_bits += c.bits
+            comm_seconds += c.duration
+    makespan = schedule.makespan
+    mean_load = sum(load) / n if n else 0.0
+    return ScheduleStats(
+        n_mapped=schedule.n_mapped,
+        t100=schedule.t100,
+        makespan=makespan,
+        total_energy=schedule.total_energy_consumed,
+        load=tuple(load),
+        utilisation=tuple(
+            (l / makespan if makespan > 0 else 0.0) for l in load
+        ),
+        imbalance=(max(load) / mean_load) if mean_load > 0 else 1.0,
+        energy_fraction=tuple(
+            schedule.energy.consumed(j) / scenario.grid[j].battery for j in range(n)
+        ),
+        tasks_per_machine=tuple(counts),
+        comm_bits=comm_bits,
+        comm_seconds=comm_seconds,
+    )
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Cumulative energy consumption sampled at schedule-event boundaries.
+
+    ``times[k]`` is an event instant; ``consumed[j][k]`` the energy machine
+    *j* has physically spent by that instant, attributing execution and
+    transmission energy linearly over each activity's interval.
+    """
+
+    times: tuple[float, ...]
+    consumed: tuple[tuple[float, ...], ...]
+
+    def at(self, machine: int, t: float) -> float:
+        """Consumption of *machine* at time *t* (linear interpolation)."""
+        times = self.times
+        series = self.consumed[machine]
+        if not times or t <= times[0]:
+            return 0.0
+        if t >= times[-1]:
+            return series[-1]
+        i = bisect.bisect_right(times, t)
+        t0, t1 = times[i - 1], times[i]
+        y0, y1 = series[i - 1], series[i]
+        if t1 <= t0:
+            return y1
+        return y0 + (y1 - y0) * (t - t0) / (t1 - t0)
+
+
+def energy_profile(schedule: Schedule, samples: int = 0) -> EnergyProfile:
+    """Build the cumulative per-machine energy curve for *schedule*.
+
+    With ``samples > 0`` the curve is resampled onto an even grid of that
+    many points over [0, makespan]; otherwise the natural event boundaries
+    are used.
+    """
+    scenario = schedule.scenario
+    n = scenario.n_machines
+    # Collect (start, end, machine, rate) power intervals.
+    intervals: list[tuple[float, float, int, float]] = []
+    for a in schedule.assignments.values():
+        intervals.append((a.start, a.finish, a.machine, scenario.grid[a.machine].compute_rate))
+        for c in a.comms:
+            intervals.append((c.start, c.finish, c.src, scenario.grid[c.src].transmit_rate))
+
+    boundaries = sorted({0.0, *(s for s, *_ in intervals), *(e for _, e, *_ in intervals)})
+    if samples > 0:
+        end = boundaries[-1] if boundaries else 0.0
+        boundaries = [end * k / (samples - 1) for k in range(samples)] if samples > 1 else [0.0]
+
+    series = [[0.0] * len(boundaries) for _ in range(n)]
+    for start, end, machine, rate in intervals:
+        if end <= start:
+            continue
+        for k, t in enumerate(boundaries):
+            overlap = min(t, end) - start
+            if overlap > 0:
+                series[machine][k] += rate * min(overlap, end - start)
+    return EnergyProfile(
+        times=tuple(boundaries),
+        consumed=tuple(tuple(s) for s in series),
+    )

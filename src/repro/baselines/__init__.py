@@ -1,0 +1,30 @@
+"""Baseline heuristics the paper compares against (or uses for calibration).
+
+* :mod:`~repro.baselines.maxmax` — the static **Max-Max** heuristic (§V),
+  a Min-Min-family mapper [IbK77] driven by the same global objective as
+  SLRH, with hole-filling insertion and per-version feasibility;
+* :mod:`~repro.baselines.greedy` — the "simple greedy static heuristic" the
+  paper used to select the time constraint τ = 34 075 s (§III), plus the
+  :func:`~repro.baselines.greedy.calibrate_tau` helper that reproduces the
+  selection procedure at any scale;
+* :mod:`~repro.baselines.minmin` — the classic minimum-completion-time
+  Min-Min of [IbK77], an extra reference point beyond the paper.
+"""
+
+from repro.baselines.greedy import GreedyScheduler, calibrate_tau
+from repro.baselines.lrnn import LrnnConfig, LrnnScheduler
+from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
+from repro.baselines.minmin import MinMinScheduler
+from repro.baselines.simple import MetScheduler, OlbScheduler
+
+__all__ = [
+    "MaxMaxScheduler",
+    "MaxMaxConfig",
+    "MinMinScheduler",
+    "GreedyScheduler",
+    "calibrate_tau",
+    "OlbScheduler",
+    "MetScheduler",
+    "LrnnScheduler",
+    "LrnnConfig",
+]

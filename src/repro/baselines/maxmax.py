@@ -1,0 +1,151 @@
+"""The Max-Max static baseline (§V).
+
+Max-Max is the paper's offline comparator, "based on the general Min-Min
+approach described in [IbK77]" but maximising the same global objective the
+SLRH uses.  Differences from SLRH:
+
+* **static** — it sees the whole problem at once and has no clock, ΔT or
+  receding horizon; start times are unconstrained from below;
+* **per-version feasibility** — each version's energy requirement (its own
+  execution energy plus worst-case outgoing-comm reserve at that version's
+  output volume) is assessed independently, so the pool may contain *both*
+  versions of one subtask;
+* **hole insertion** — a triplet may be scheduled before the target
+  machine's availability time if a sufficiently large hole exists in the
+  machine calendar that honours precedence.
+
+Each iteration: for every machine, find the feasible (subtask, version)
+pair maximising the objective; among those per-machine champions commit the
+best (subtask, version, machine) triplet.  Repeat until all subtasks are
+mapped or no feasible candidate remains (the run is then incomplete and is
+rejected, exactly like an over-τ SLRH run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.objective import ObjectiveFunction, Weights
+from repro.core.slrh import MappingResult
+from repro.sim.schedule import Schedule
+from repro.sim.trace import MappingTrace
+from repro.util.timing import Stopwatch
+from repro.workload.scenario import Scenario
+from repro.workload.versions import PRIMARY, SECONDARY
+
+
+@dataclass(frozen=True)
+class MaxMaxConfig:
+    """Max-Max tuning knobs (the objective weights, chiefly)."""
+
+    weights: Weights
+    comm_reserve: bool = True
+    #: Allow scheduling into calendar holes (§V); disabling is an ablation.
+    insertion: bool = True
+    #: AET-term semantics of the objective (ablation; see ObjectiveFunction).
+    aet_mode: str = "tent"
+    #: Machine-stage selection rule.  ``"completion"`` (default) assigns
+    #: each candidate (subtask, version) its minimum-completion-time
+    #: machine, mirroring the [IbK77] Min-Min structure the paper says
+    #: Max-Max is based on; the objective then picks among candidates.
+    #: ``"objective"`` follows the §V text literally (per-machine best pair
+    #: by objective) — with Table 2's constants that reading routes every
+    #: primary onto the energy-cheap slow machines and collapses in Case C
+    #: (see EXPERIMENTS.md); kept as an ablation.
+    machine_stage: str = "completion"
+
+
+class MaxMaxScheduler:
+    """Static Max-Max mapper (see module docstring)."""
+
+    name = "Max-Max"
+
+    def __init__(self, config: MaxMaxConfig) -> None:
+        self.config = config
+
+    def map(self, scenario: Scenario) -> MappingResult:
+        schedule = Schedule(scenario)
+        checker = FeasibilityChecker(scenario, comm_reserve=self.config.comm_reserve)
+        objective = ObjectiveFunction.for_scenario(
+            scenario, self.config.weights, aet_mode=self.config.aet_mode
+        )
+        trace = MappingTrace()
+
+        completion_stage = self.config.machine_stage == "completion"
+        if self.config.machine_stage not in ("completion", "objective"):
+            raise ValueError(f"unknown machine_stage {self.config.machine_stage!r}")
+
+        stopwatch = Stopwatch()
+        with stopwatch:
+            while not schedule.is_complete:
+                trace.note_tick()
+                best_plan = None
+                best_score = -float("inf")
+                pool_size = 0
+                ready = sorted(schedule.ready_tasks())
+                for task in ready:
+                    for version in (PRIMARY, SECONDARY):
+                        # Machine stage: the candidate's plan on each
+                        # machine; under "completion" only the
+                        # minimum-completion-time machine survives, under
+                        # "objective" every machine competes directly.
+                        stage_plan = None
+                        for machine in range(scenario.n_machines):
+                            trace.note_machine_scan()
+                            if not checker.is_feasible(schedule, task, machine, version):
+                                continue
+                            plan = schedule.plan(
+                                task,
+                                version,
+                                machine,
+                                not_before=0.0,
+                                insertion=self.config.insertion,
+                            )
+                            if not plan.feasible:
+                                continue
+                            pool_size += 1
+                            if completion_stage:
+                                if stage_plan is None or plan.finish < stage_plan.finish - 1e-12:
+                                    stage_plan = plan
+                                continue
+                            score = objective.after_plan(schedule, plan)
+                            # Objective ties break toward the earliest
+                            # finish (Min-Min heritage, [IbK77]), then the
+                            # primary version / lowest ids via scan order.
+                            if score > best_score + 1e-12 or (
+                                score > best_score - 1e-12
+                                and best_plan is not None
+                                and plan.finish < best_plan.finish - 1e-12
+                            ):
+                                best_score = max(best_score, score)
+                                best_plan = plan
+                        if completion_stage and stage_plan is not None:
+                            score = objective.after_plan(schedule, stage_plan)
+                            if score > best_score + 1e-12 or (
+                                score > best_score - 1e-12
+                                and best_plan is not None
+                                and stage_plan.finish < best_plan.finish - 1e-12
+                            ):
+                                best_score = max(best_score, score)
+                                best_plan = stage_plan
+                if best_plan is None:
+                    trace.note_empty_pool()
+                    break
+                schedule.commit(best_plan)
+                trace.record_commit(
+                    clock=0.0,
+                    plan=best_plan,
+                    objective=objective.of_schedule(schedule),
+                    pool_size=pool_size,
+                    t100=schedule.t100,
+                    tec=schedule.total_energy_consumed,
+                    aet=schedule.makespan,
+                )
+        return MappingResult(
+            schedule=schedule,
+            trace=trace,
+            heuristic_seconds=stopwatch.elapsed,
+            heuristic=self.name,
+            weights=self.config.weights,
+        )

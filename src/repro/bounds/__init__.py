@@ -1,0 +1,9 @@
+"""Upper bound on T100 via equivalent computing cycles (§VI)."""
+
+from repro.bounds.upper_bound import (
+    UpperBoundResult,
+    upper_bound,
+    upper_bound_strict,
+)
+
+__all__ = ["upper_bound", "UpperBoundResult", "upper_bound_strict"]

@@ -1,0 +1,152 @@
+"""Upper bound on T100 via "equivalent computing cycles" (§VI).
+
+The bound treats the grid as one pooled resource, ignoring precedence and
+communication entirely — anything a real mapper achieves is therefore below
+it.  Construction:
+
+1. choose machine 0 as the reference and compute each machine's *minimum
+   ratio* ``MR(j) = min_i ETC(i, j) / ETC(i, 0)`` — the best-case cost of a
+   unit of reference work on machine *j* (Table 3 reports these);
+2. each machine contributes ``τ / MR(j)`` *equivalent cycles*, pooled as
+   ``TECC = Σ_j τ / MR(j)``;
+3. greedily "execute" primary versions: repeatedly pick the unused
+   (subtask, machine) pair with the **minimum energy** ``E(j)·ETC(i, j)``;
+   it costs ``ETC(i, j) / MR(j)`` equivalent cycles and its energy; stop at
+   the first pick that no longer fits the remaining TECC or total system
+   energy (Table 4 reports the resulting counts).
+
+The greedy inner loop is vectorised: the |T|×|M| energy matrix is computed
+once and masked as subtasks are consumed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.etc import min_relative_speed
+from repro.workload.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class UpperBoundResult:
+    """Outcome of the §VI upper bound computation."""
+
+    #: Maximum number of primary-version subtasks (the Table 4 entry).
+    t100_bound: int
+    #: MR(j) per machine (the Table 3 entries).
+    min_ratios: np.ndarray
+    #: Total equivalent computing cycles available.
+    tecc: float
+    #: Equivalent cycles left when the packing stopped.
+    cycles_remaining: float
+    #: System energy left when the packing stopped.
+    energy_remaining: float
+    #: Which resource stopped the packing: "none" (all subtasks fit),
+    #: "cycles" or "energy".
+    limiting_resource: str
+
+
+def upper_bound(scenario: Scenario, reference: int = 0) -> UpperBoundResult:
+    """Compute the §VI upper bound for one scenario.
+
+    The DAG and data sizes are deliberately ignored — the bound pools raw
+    compute capacity and energy only, which is what makes it an upper bound.
+    """
+    etc = scenario.etc
+    n_tasks, n_machines = etc.shape
+    mr = min_relative_speed(etc, reference=reference)
+    tecc = float(np.sum(scenario.tau / mr))
+    energy_budget = scenario.grid.total_system_energy
+
+    compute_rates = np.array([m.compute_rate for m in scenario.grid])
+    energy_matrix = etc * compute_rates[np.newaxis, :]  # E(j)·ETC(i,j)
+    cycles_matrix = etc / mr[np.newaxis, :]  # ETC(i,j)/MR(j)
+
+    # Cheapest machine per subtask never changes as subtasks are consumed,
+    # so precompute each subtask's (energy, cycles) at its argmin machine
+    # and visit subtasks in increasing energy order.
+    best_machine = np.argmin(energy_matrix, axis=1)
+    rows = np.arange(n_tasks)
+    best_energy = energy_matrix[rows, best_machine]
+    best_cycles = cycles_matrix[rows, best_machine]
+    order = np.argsort(best_energy, kind="stable")
+
+    cycles_remaining = tecc
+    energy_remaining = energy_budget
+    count = 0
+    limiting = "none"
+    for i in order:
+        e, c = float(best_energy[i]), float(best_cycles[i])
+        if c > cycles_remaining + 1e-9:
+            limiting = "cycles"
+            break
+        if e > energy_remaining + 1e-9:
+            limiting = "energy"
+            break
+        cycles_remaining -= c
+        energy_remaining -= e
+        count += 1
+
+    return UpperBoundResult(
+        t100_bound=count,
+        min_ratios=mr,
+        tecc=tecc,
+        cycles_remaining=cycles_remaining,
+        energy_remaining=energy_remaining,
+        limiting_resource=limiting,
+    )
+
+
+def upper_bound_strict(scenario: Scenario, reference: int = 0) -> int:
+    """A *provable* upper bound on T100 (LP relaxation; beyond the paper).
+
+    The §VI construction above is reproduced faithfully, but it is not
+    actually an upper bound: its greedy charges every subtask to its
+    minimum-**energy** machine, which on Table 2 grids is a slow machine —
+    expensive in equivalent cycles.  When cycles are the binding resource,
+    a real mapping that pays more energy to use fast machines can execute
+    *more* primaries than the "bound" (we observe this on tight-τ
+    instances; see EXPERIMENTS.md).
+
+    This bound fixes that by relaxation.  Any schedule that runs primary
+    version of a set S of subtasks satisfies
+
+    * Σ_{i∈S} cycles(i, j_i) ≤ TECC  (pooled equivalent cycles), and
+    * Σ_{i∈S} energy(i, j_i) ≤ TSE   (pooled energy),
+
+    for the machines j_i actually used.  Lower-bounding each subtask's
+    cost per resource *independently* (cᵢ = min_j cycles(i, j),
+    eᵢ = min_j energy(i, j)) and allowing fractional selection only
+    enlarges the feasible set, so the LP
+
+        max Σ xᵢ   s.t.  Σ cᵢ xᵢ ≤ TECC,  Σ eᵢ xᵢ ≤ TSE,  0 ≤ xᵢ ≤ 1
+
+    dominates every achievable T100; its floor-with-tolerance is returned.
+    Secondary executions only consume additional resources, so ignoring
+    them keeps the bound valid.
+    """
+    from scipy.optimize import linprog
+
+    etc = scenario.etc
+    n_tasks = etc.shape[0]
+    mr = min_relative_speed(etc, reference=reference)
+    tecc = float(np.sum(scenario.tau / mr))
+    tse = scenario.grid.total_system_energy
+
+    compute_rates = np.array([m.compute_rate for m in scenario.grid])
+    min_energy = (etc * compute_rates[np.newaxis, :]).min(axis=1)
+    min_cycles = (etc / mr[np.newaxis, :]).min(axis=1)
+
+    result = linprog(
+        c=-np.ones(n_tasks),  # maximise Σ x
+        A_ub=np.vstack([min_cycles, min_energy]),
+        b_ub=np.array([tecc, tse]),
+        bounds=[(0.0, 1.0)] * n_tasks,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"upper-bound LP failed: {result.message}")
+    return int(math.floor(-result.fun + 1e-6))

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the SLRH resource manager family.
+
+* :mod:`~repro.core.objective` — the Lagrangian-style global objective
+  ``ObjFn(α,β,γ) = α·T100/|T| − β·TEC/TSE + γ·AET/τ`` on the weight simplex;
+* :mod:`~repro.core.feasibility` — the conservative candidate feasibility
+  rule (parents mapped + worst-case communication energy reserve);
+* :mod:`~repro.core.pool` — candidate pool U construction, per-subtask
+  version selection and objective ordering;
+* :mod:`~repro.core.slrh` — the clock-driven SLRH loop and its three
+  variants (SLRH-1/2/3);
+* :mod:`~repro.core.lagrangian` — adaptive multiplier adjustment (the
+  paper's stated future work, implemented as a subgradient outer loop).
+"""
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.lagrangian import AdaptiveWeightController, adaptive_slrh
+from repro.core.objective import ObjectiveFunction, Weights
+from repro.core.pool import Candidate, build_candidate_pool
+from repro.core.slrh import (
+    SLRH1,
+    SLRH2,
+    SLRH3,
+    MappingResult,
+    SlrhConfig,
+    SlrhScheduler,
+)
+
+__all__ = [
+    "Weights",
+    "ObjectiveFunction",
+    "FeasibilityChecker",
+    "Candidate",
+    "build_candidate_pool",
+    "SlrhConfig",
+    "SlrhScheduler",
+    "SLRH1",
+    "SLRH2",
+    "SLRH3",
+    "MappingResult",
+    "AdaptiveWeightController",
+    "adaptive_slrh",
+]

@@ -1,0 +1,122 @@
+"""Adaptive adjustment of the Lagrangian multipliers.
+
+The paper *simplifies* the Lagrangian approach by holding the multipliers
+(α, β, γ) constant during a run, and finds the optimum by offline search
+(§VII).  Its summary explicitly calls for "on-the-fly adjustment of the
+Lagrangian parameters ... whenever the system environment changes" (§VIII).
+This module implements that future work as a subgradient-style outer loop
+inspired by the Lagrangian-relaxation scheduling literature the paper
+builds on ([LuH93], [LuZ00]):
+
+* a run whose **AET exceeds τ** has over-rewarded time usage → shift weight
+  from γ to α (the paper's own remedy: "their (α, β) values adjusted until
+  the AET was brought into compliance");
+* a run that **fails to map every subtask** ran out of energy or schedule
+  room → shift weight from α to β, biasing the version choice toward the
+  frugal secondary versions;
+* a **successful** run probes a more aggressive α (more primary versions);
+  the best successful configuration seen is retained, so the controller
+  never ends worse than its first success.
+
+Step sizes shrink harmonically (a standard subgradient schedule), so the
+controller converges instead of oscillating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.objective import Weights
+from repro.core.slrh import MappingResult, SlrhConfig, SlrhScheduler
+from repro.workload.scenario import Scenario
+
+
+def _shift(weights: Weights, source: str, target: str, amount: float) -> Weights:
+    """Move up to *amount* of weight from *source* to *target* on the simplex."""
+    values = {"alpha": weights.alpha, "beta": weights.beta, "gamma": weights.gamma}
+    moved = min(amount, values[source])
+    values[source] -= moved
+    values[target] += moved
+    return Weights(**values)
+
+
+@dataclass
+class AdaptiveWeightController:
+    """Run-level multiplier controller (see module docstring).
+
+    Attributes
+    ----------
+    initial:
+        Starting weights; a neutral simplex centre works well.
+    step:
+        Initial weight-shift size; iteration *k* uses ``step / k``.
+    max_iters:
+        Total SLRH runs allowed.
+    """
+
+    initial: Weights = field(default_factory=lambda: Weights(1 / 3, 1 / 3, 1 / 3))
+    step: float = 0.15
+    max_iters: int = 12
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+        if self.max_iters < 1:
+            raise ValueError("max_iters must be >= 1")
+
+    def propose(self, weights: Weights, result: MappingResult, iteration: int) -> Weights:
+        """Next weights given the outcome of the last run (1-based iteration)."""
+        step = self.step / iteration
+        if result.complete and not result.within_tau:
+            # Time constraint violated: stop rewarding long schedules.
+            return _shift(weights, "gamma", "alpha", step)
+        if not result.complete:
+            # Ran out of resources: penalise energy harder.
+            return _shift(weights, "alpha", "beta", step)
+        # Success: probe a more T100-hungry configuration.
+        return _shift(weights, "beta", "alpha", step / 2)
+
+
+def adaptive_slrh(
+    scenario: Scenario,
+    scheduler_cls: type[SlrhScheduler],
+    controller: AdaptiveWeightController | None = None,
+    base_config: SlrhConfig | None = None,
+) -> tuple[MappingResult, list[MappingResult]]:
+    """Run *scheduler_cls* under adaptive weights on *scenario*.
+
+    Returns ``(best, history)`` where *best* is the successful result with
+    the highest T100 (or, if no run succeeded, the result mapping the most
+    subtasks) and *history* holds every run in order.
+    """
+    controller = controller or AdaptiveWeightController()
+    weights = controller.initial
+    history: list[MappingResult] = []
+    best: MappingResult | None = None
+
+    for iteration in range(1, controller.max_iters + 1):
+        if base_config is None:
+            config = SlrhConfig(weights=weights)
+        else:
+            config = replace(base_config, weights=weights)
+        result = scheduler_cls(config).map(scenario)
+        history.append(result)
+        if _better(result, best):
+            best = result
+        weights = controller.propose(weights, result, iteration)
+
+    assert best is not None  # max_iters >= 1 guarantees at least one run
+    return best, history
+
+
+def _better(candidate: MappingResult, incumbent: MappingResult | None) -> bool:
+    """Prefer success, then T100, then mapped count, then lower AET."""
+    if incumbent is None:
+        return True
+    if candidate.success != incumbent.success:
+        return candidate.success
+    if candidate.t100 != incumbent.t100:
+        return candidate.t100 > incumbent.t100
+    if candidate.schedule.n_mapped != incumbent.schedule.n_mapped:
+        return candidate.schedule.n_mapped > incumbent.schedule.n_mapped
+    return candidate.aet < incumbent.aet

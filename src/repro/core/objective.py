@@ -1,0 +1,164 @@
+"""The Lagrangian-style global objective function (§IV).
+
+The SLRH treats the hard constraints on energy and application execution
+time as *soft biases* folded into one scalar objective via constant
+Lagrangian multipliers (the "simplified" in SLRH):
+
+.. math::
+
+   ObjFn(\\alpha, \\beta, \\gamma)
+       = \\alpha \\frac{T_{100}}{|T|}
+       - \\beta  \\frac{TEC}{TSE}
+       + \\gamma \\frac{AET}{\\tau}
+
+with α, β, γ ∈ [0, 1] and α + β + γ = 1, so ObjFn itself stays within
+[−1, 1] (each term is normalised to [0, 1]).  The *positive* sign on the
+AET term is deliberate and unusual: the paper found that penalising AET
+produced very short schedules with poor T100, so the objective instead
+*rewards* using the time budget, and the τ constraint is enforced outside
+the objective by rejecting runs whose AET exceeds τ (§IV, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.sim.schedule import ExecutionPlan, Schedule
+from repro.workload.scenario import Scenario
+
+_SIMPLEX_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Weights:
+    """A point (α, β, γ) on the objective weight simplex.
+
+    Only two weights are free; :meth:`from_alpha_beta` fills γ = 1 − α − β,
+    matching how the paper's experiments sweep (α, β).
+    """
+
+    alpha: float
+    beta: float
+    gamma: float
+
+    def __post_init__(self) -> None:
+        for label, w in (("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)):
+            if not -_SIMPLEX_TOL <= w <= 1 + _SIMPLEX_TOL:
+                raise ValueError(f"{label} = {w} outside [0, 1]")
+        total = self.alpha + self.beta + self.gamma
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"weights must sum to 1, got {total}")
+
+    @classmethod
+    def from_alpha_beta(cls, alpha: float, beta: float) -> "Weights":
+        """Build weights from the two free parameters (γ = 1 − α − β)."""
+        gamma = 1.0 - alpha - beta
+        if gamma < -_SIMPLEX_TOL:
+            raise ValueError(f"alpha + beta = {alpha + beta} exceeds 1")
+        return cls(alpha=alpha, beta=beta, gamma=max(0.0, gamma))
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.alpha, self.beta, self.gamma)
+
+
+#: How the γ·AET/τ term treats schedules that overshoot τ (see
+#: :meth:`ObjectiveFunction.value`).
+AetMode = Literal["tent", "clamp", "raw", "negative"]
+
+
+@dataclass(frozen=True)
+class ObjectiveFunction:
+    """ObjFn bound to one scenario's normalisation constants (|T|, TSE, τ).
+
+    The ``aet_mode`` field pins down a semantics the paper leaves implicit.
+    The γ term carries a *positive* sign "to encourage use of all of the
+    available time within the specified time constraint", yet the same
+    section says the hard boundary on AET is "expressed as a soft bias in
+    the objective function".  A bias that keeps rewarding AET past τ is no
+    constraint at all — a literal reading turns the static Max-Max into an
+    AET maximiser that drags every subtask onto the slowest machines.  The
+    three selectable semantics:
+
+    ``tent`` (default)
+        Reward rises linearly to its maximum at AET = τ and decays
+        symmetrically beyond, reaching zero at 2τ — the time constraint
+        acts as a genuine Lagrangian penalty while still encouraging full
+        use of the budget.
+    ``clamp``
+        Reward saturates at τ (never discourages overshoot).  Ablation.
+    ``raw``
+        The uninterpreted formula γ·AET/τ.  Ablation.
+    ``negative``
+        −γ·AET/τ — the sign the paper *tried and rejected*: it "caused the
+        heuristic to produce very short AET solutions, but with
+        correspondingly lower T100 values" (§IV).  Ablation reproducing
+        that design discussion.
+
+    The ablation benchmark ``benchmarks/test_ablation_objective.py``
+    quantifies the difference.
+    """
+
+    weights: Weights
+    n_tasks: int
+    total_system_energy: float
+    tau: float
+    aet_mode: AetMode = "tent"
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ValueError("n_tasks must be >= 1")
+        if self.total_system_energy <= 0:
+            raise ValueError("total_system_energy must be positive")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.aet_mode not in ("tent", "clamp", "raw", "negative"):
+            raise ValueError(f"unknown aet_mode {self.aet_mode!r}")
+
+    @classmethod
+    def for_scenario(
+        cls, scenario: Scenario, weights: Weights, aet_mode: AetMode = "tent"
+    ) -> "ObjectiveFunction":
+        return cls(
+            weights=weights,
+            n_tasks=scenario.n_tasks,
+            total_system_energy=scenario.grid.total_system_energy,
+            tau=scenario.tau,
+            aet_mode=aet_mode,
+        )
+
+    def _aet_term(self, aet: float) -> float:
+        ratio = aet / self.tau
+        if self.aet_mode == "raw":
+            return ratio
+        if self.aet_mode == "clamp":
+            return min(ratio, 1.0)
+        if self.aet_mode == "negative":
+            return -ratio
+        return max(0.0, min(ratio, 2.0 - ratio))  # tent
+
+    def value(self, t100: int, tec: float, aet: float) -> float:
+        """ObjFn at the given aggregate state (see class docstring for the
+        AET-term semantics)."""
+        w = self.weights
+        return (
+            w.alpha * (t100 / self.n_tasks)
+            - w.beta * (tec / self.total_system_energy)
+            + w.gamma * self._aet_term(aet)
+        )
+
+    def of_schedule(self, schedule: Schedule) -> float:
+        """ObjFn of a schedule's current aggregate state."""
+        return self.value(schedule.t100, schedule.total_energy_consumed, schedule.makespan)
+
+    def after_plan(self, schedule: Schedule, plan: ExecutionPlan) -> float:
+        """ObjFn the schedule *would* have after committing *plan*.
+
+        This is the "impact on the global objective function" the SLRH uses
+        to select versions and order the candidate pool (§IV): T100, TEC and
+        AET are advanced hypothetically, nothing is mutated.
+        """
+        t100 = schedule.t100 + (1 if plan.version.counts_toward_t100 else 0)
+        tec = schedule.total_energy_consumed + plan.energy_delta
+        aet = max(schedule.makespan, plan.finish)
+        return self.value(t100, tec, aet)

@@ -1,0 +1,111 @@
+"""Candidate pool U: construction, version selection, ordering (§IV).
+
+For one target machine at one clock tick the SLRH:
+
+1. filters the unmapped subtasks through the
+   :class:`~repro.core.feasibility.FeasibilityChecker` (secondary-version
+   energy rule) to form the pool U;
+2. evaluates the global objective for **both** versions of every pool
+   member — this requires a tentative :class:`~repro.sim.schedule.ExecutionPlan`
+   per (task, version) so TEC and AET impacts are exact — and keeps only the
+   version with the higher objective (ties favour the primary, since equal
+   objective at lower resource commitment never loses T100);
+3. orders the pool by resulting objective value, maximum first.
+
+The SLRH then walks the ordered pool and maps the first candidate whose
+start time falls inside the receding horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.objective import ObjectiveFunction
+from repro.sim.schedule import ExecutionPlan, Schedule
+from repro.workload.versions import SECONDARY
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One pool entry: a subtask with its chosen version and tentative plan."""
+
+    task: int
+    plan: ExecutionPlan
+    score: float
+
+    @property
+    def version(self):
+        return self.plan.version
+
+
+def evaluate_versions(
+    schedule: Schedule,
+    objective: ObjectiveFunction,
+    task: int,
+    machine: int,
+    not_before: float,
+    insertion: bool = False,
+) -> Candidate | None:
+    """Plan both versions of *task* on *machine*; return the better one.
+
+    Plans that are energy-infeasible at commit granularity (e.g. the primary
+    version no longer fits the battery, or a parent's machine cannot afford
+    the transmit energy) are dropped; returns ``None`` when neither version
+    survives.
+    """
+    best: Candidate | None = None
+    for plan in schedule.plan_versions(
+        task, machine, not_before=not_before, insertion=insertion
+    ):
+        if not plan.feasible:
+            continue
+        score = objective.after_plan(schedule, plan)
+        if best is None or score > best.score:
+            best = Candidate(task=task, plan=plan, score=score)
+    return best
+
+
+def build_candidate_pool(
+    schedule: Schedule,
+    checker: FeasibilityChecker,
+    objective: ObjectiveFunction,
+    machine: int,
+    not_before: float,
+    tasks: Iterable[int] | None = None,
+    insertion: bool = False,
+) -> list[Candidate]:
+    """Build the ordered candidate pool U for *machine* at time *not_before*.
+
+    Parameters
+    ----------
+    tasks:
+        The subtasks to consider; defaults to the schedule's ready set
+        (unmapped, all parents mapped).  SLRH-3 passes an explicit set when
+        it re-pools after each assignment.
+    insertion:
+        Passed through to planning (Max-Max hole-filling uses ``True``).
+
+    Returns the pool ordered by objective value, maximum first; ties broken
+    by task id for determinism.
+    """
+    if tasks is None:
+        tasks = schedule.ready_tasks()
+    scenario = schedule.scenario
+    pool: list[Candidate] = []
+    for task in tasks:
+        # A subtask the grid has not yet *seen* (release time in the
+        # future) cannot enter the pool — the dynamic heuristic has no
+        # advance knowledge of it (§IV).
+        if scenario.release(task) > not_before + 1e-9:
+            continue
+        if not checker.is_feasible(schedule, task, machine, SECONDARY):
+            continue
+        candidate = evaluate_versions(
+            schedule, objective, task, machine, not_before, insertion=insertion
+        )
+        if candidate is not None:
+            pool.append(candidate)
+    pool.sort(key=lambda c: (-c.score, c.task))
+    return pool

@@ -1,0 +1,372 @@
+"""The Simplified Lagrangian Receding Horizon scheduler family (§IV, §V).
+
+The SLRH is a *dynamic* (online) heuristic executed every ΔT clock cycles.
+At each invocation it scans the machines in numerical order; for each
+machine that is **available** (no execution committed at or beyond the
+current clock) it builds the ordered candidate pool U
+(:func:`repro.core.pool.build_candidate_pool`) and maps the highest-scoring
+candidate that can *start* within the receding horizon ``[t, t + H]``.
+Mapping a candidate schedules all of its incoming communications and debits
+all energies immediately.
+
+The three variants differ only in the per-machine inner loop:
+
+* **SLRH-1** — one assignment per machine per tick (the baseline);
+* **SLRH-2** — keeps assigning from the *same* pool (original version
+  choices and ordering) until the pool is exhausted or nothing more can
+  start within the horizon; the pool is **not** re-evaluated between
+  assignments, so its scores and start times go progressively stale — the
+  paper found this variant rarely maps all 1024 subtasks;
+* **SLRH-3** — like SLRH-2 but rebuilds and re-evaluates U after *every*
+  assignment (newly-ready children join immediately).
+
+The loop terminates when every subtask is mapped, or the clock passes τ
+(the run is then incomplete and will be rejected by the weight search), or
+a safety tick cap is hit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.objective import ObjectiveFunction, Weights
+from repro.core.pool import build_candidate_pool
+from repro.sim.clock import SimulationClock
+from repro.sim.schedule import Schedule
+from repro.sim.trace import MappingTrace
+from repro.util.timing import Stopwatch
+from repro.util.units import CYCLE_SECONDS
+from repro.workload.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class SlrhConfig:
+    """SLRH tuning knobs.
+
+    Paper defaults: ΔT = 10 cycles, H = 100 cycles, 0.1 s cycles (§VII).
+    """
+
+    weights: Weights
+    delta_t_cycles: int = 10
+    horizon_cycles: int = 100
+    cycle_seconds: float = CYCLE_SECONDS
+    #: Hard cap on heuristic invocations; ``None`` derives it from τ.
+    max_ticks: int | None = None
+    #: Disable the worst-case comm-energy reserve (ablation only).
+    comm_reserve: bool = True
+    #: AET-term semantics of the objective (ablation; see ObjectiveFunction).
+    aet_mode: str = "tent"
+    #: Order in which the per-tick loop visits machines.  The paper checks
+    #: them "in simple numerical order" (``index``); alternatives quantify
+    #: that choice: ``battery`` visits the machine with the most available
+    #: energy first (spreads energy drain), ``round_robin`` rotates the
+    #: starting machine every tick (spreads the first-pick advantage).
+    machine_order: str = "index"
+    #: Cycles the mapper itself needs to produce a decision.  §IV warns
+    #: that "the execution time of the heuristic in a real-time field
+    #: application ... could lead to significantly larger minimum ΔT
+    #: values"; with a non-zero latency every action decided at tick t is
+    #: scheduled no earlier than t + latency, modelling an on-board
+    #: controller that cannot act instantaneously.
+    decision_latency_cycles: int = 0
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Outcome of one heuristic run on one scenario."""
+
+    schedule: Schedule
+    trace: MappingTrace
+    heuristic_seconds: float
+    heuristic: str
+    weights: Weights
+
+    @property
+    def complete(self) -> bool:
+        return self.schedule.is_complete
+
+    @property
+    def within_tau(self) -> bool:
+        return self.schedule.makespan <= self.schedule.scenario.tau + 1e-9
+
+    @property
+    def success(self) -> bool:
+        """The paper's acceptance rule: all subtasks mapped within τ (energy
+        holds by construction)."""
+        return self.complete and self.within_tau
+
+    @property
+    def t100(self) -> int:
+        return self.schedule.t100
+
+    @property
+    def aet(self) -> float:
+        return self.schedule.makespan
+
+    @property
+    def tec(self) -> float:
+        return self.schedule.total_energy_consumed
+
+    def value_per_second(self) -> float:
+        """Figure 7's metric: T100 per second of heuristic execution time."""
+        if self.heuristic_seconds <= 0:
+            return math.inf if self.t100 > 0 else 0.0
+        return self.t100 / self.heuristic_seconds
+
+    def summary(self) -> dict:
+        s = self.schedule.summary()
+        s.update(
+            heuristic=self.heuristic,
+            heuristic_seconds=self.heuristic_seconds,
+            alpha=self.weights.alpha,
+            beta=self.weights.beta,
+            gamma=self.weights.gamma,
+            success=self.success,
+        )
+        return s
+
+
+class SlrhScheduler:
+    """Base class implementing the clock-driven outer loop (Figure 1)."""
+
+    #: Variant label used in reports; subclasses override.
+    name = "SLRH"
+
+    def __init__(self, config: SlrhConfig) -> None:
+        self.config = config
+
+    def _decision_time(self, clock: SimulationClock) -> float:
+        """Earliest instant a decision made at this tick may take effect
+        (the clock plus the configured decision latency)."""
+        return clock.now + self.config.decision_latency_cycles * self.config.cycle_seconds
+
+    # -- variant hook -------------------------------------------------------
+
+    def _serve_machine(
+        self,
+        schedule: Schedule,
+        machine: int,
+        clock: SimulationClock,
+        checker: FeasibilityChecker,
+        objective: ObjectiveFunction,
+        trace: MappingTrace,
+    ) -> int:
+        """Attempt assignment(s) on *machine*; returns how many were made."""
+        raise NotImplementedError
+
+    # -- shared machinery ----------------------------------------------------
+
+    def _commit_first_startable(
+        self,
+        schedule: Schedule,
+        pool,
+        clock: SimulationClock,
+        trace: MappingTrace,
+        objective: ObjectiveFunction,
+        replan: bool = False,
+    ) -> bool:
+        """Walk the ordered pool; commit the first candidate whose start
+        falls inside the horizon.  With *replan*, each candidate's plan is
+        recomputed first (SLRH-2's stale-pool walk)."""
+        for candidate in pool:
+            plan = candidate.plan
+            if replan:
+                if schedule.is_mapped(candidate.task):
+                    continue
+                plan = schedule.plan(
+                    candidate.task,
+                    candidate.version,
+                    plan.machine,
+                    not_before=self._decision_time(clock),
+                )
+                if not plan.feasible:
+                    continue
+            # §IV: horizon eligibility is judged on the "earliest possible
+            # starting time ... given precedence and communication
+            # requirements" — the machine's own queue does not disqualify a
+            # candidate.  (For SLRH-1 the target machine is idle, so the two
+            # notions coincide; for SLRH-2/3 this is what lets one machine
+            # take several assignments in a single tick.)
+            if not clock.within_horizon(plan.data_ready):
+                continue
+            schedule.commit(plan)
+            trace.record_commit(
+                clock=clock.now,
+                plan=plan,
+                objective=objective.of_schedule(schedule),
+                pool_size=len(pool),
+                t100=schedule.t100,
+                tec=schedule.total_energy_consumed,
+                aet=schedule.makespan,
+            )
+            return True
+        return False
+
+    def map(
+        self,
+        scenario: Scenario,
+        schedule: Schedule | None = None,
+        start_cycle: int = 0,
+        stop_cycle: int | None = None,
+    ) -> MappingResult:
+        """Run the heuristic to completion (or τ) on *scenario*.
+
+        Parameters
+        ----------
+        schedule:
+            Optional partially-built schedule to continue from — the
+            dynamic re-mapping engine passes the surviving assignments
+            after a machine loss.  Defaults to an empty schedule.
+        start_cycle:
+            Clock cycle to start at (e.g. the loss time when resuming).
+        stop_cycle:
+            Pause the loop once the clock reaches this cycle (exclusive),
+            leaving the schedule partially built — the churn engine runs
+            the heuristic segment-by-segment between grid events.
+        """
+        cfg = self.config
+        if schedule is None:
+            schedule = Schedule(scenario)
+        elif schedule.scenario is not scenario:
+            raise ValueError("schedule was built for a different scenario")
+        checker = FeasibilityChecker(scenario, comm_reserve=cfg.comm_reserve)
+        objective = ObjectiveFunction.for_scenario(
+            scenario, cfg.weights, aet_mode=cfg.aet_mode
+        )
+        clock = SimulationClock(
+            delta_t_cycles=cfg.delta_t_cycles,
+            horizon_cycles=cfg.horizon_cycles,
+            cycle_seconds=cfg.cycle_seconds,
+            cycle=start_cycle,
+        )
+        trace = MappingTrace()
+        max_ticks = cfg.max_ticks
+        if max_ticks is None:
+            max_ticks = int(math.ceil(scenario.tau / clock.delta_t_seconds)) + 2
+
+        if cfg.machine_order not in ("index", "battery", "round_robin"):
+            raise ValueError(f"unknown machine_order {cfg.machine_order!r}")
+
+        def scan_order(tick_index: int) -> list[int]:
+            n = scenario.n_machines
+            if cfg.machine_order == "battery":
+                return sorted(
+                    range(n), key=lambda j: (-schedule.available_energy(j), j)
+                )
+            if cfg.machine_order == "round_robin":
+                offset = tick_index % n
+                return [(offset + k) % n for k in range(n)]
+            return list(range(n))
+
+        stopwatch = Stopwatch()
+        with stopwatch:
+            for tick_index in range(max_ticks):
+                if stop_cycle is not None and clock.cycle >= stop_cycle:
+                    break
+                trace.note_tick()
+                for j in scan_order(tick_index):
+                    trace.note_machine_scan()
+                    if not schedule.machine_available(j, clock.now):
+                        continue
+                    made = self._serve_machine(
+                        schedule, j, clock, checker, objective, trace
+                    )
+                    if made == 0:
+                        trace.note_empty_pool()
+                    if schedule.is_complete:
+                        break
+                if schedule.is_complete:
+                    break
+                clock.tick()
+                if clock.exceeded(scenario.tau):
+                    break
+        return MappingResult(
+            schedule=schedule,
+            trace=trace,
+            heuristic_seconds=stopwatch.elapsed,
+            heuristic=self.name,
+            weights=cfg.weights,
+        )
+
+
+class SLRH1(SlrhScheduler):
+    """Variant 1 — one assignment per available machine per tick (§V)."""
+
+    name = "SLRH-1"
+
+    def _serve_machine(self, schedule, machine, clock, checker, objective, trace) -> int:
+        pool = build_candidate_pool(
+            schedule, checker, objective, machine,
+            not_before=self._decision_time(clock),
+        )
+        if not pool:
+            return 0
+        made = self._commit_first_startable(schedule, pool, clock, trace, objective)
+        return 1 if made else 0
+
+
+class SLRH2(SlrhScheduler):
+    """Variant 2 — drain one stale pool per machine per tick (§V).
+
+    The pool is built once; assignments continue (re-planning start times,
+    but *not* re-evaluating versions or ordering) until the pool is
+    exhausted or nothing further can start within the horizon.
+    """
+
+    name = "SLRH-2"
+
+    def _serve_machine(self, schedule, machine, clock, checker, objective, trace) -> int:
+        pool = build_candidate_pool(
+            schedule, checker, objective, machine,
+            not_before=self._decision_time(clock),
+        )
+        if not pool:
+            return 0
+        made = 0
+        if self._commit_first_startable(schedule, pool, clock, trace, objective):
+            made += 1
+            # Subsequent walks must re-plan: the machine calendar moved.
+            while self._commit_first_startable(
+                schedule, pool, clock, trace, objective, replan=True
+            ):
+                made += 1
+                if schedule.is_complete:
+                    break
+        return made
+
+
+class SLRH3(SlrhScheduler):
+    """Variant 3 — rebuild and re-evaluate U after every assignment (§V).
+
+    Children of a just-mapped subtask enter the pool immediately, so one
+    machine can chew through an entire dependency chain within a single
+    tick, provided each link starts within the horizon.
+    """
+
+    name = "SLRH-3"
+
+    def _serve_machine(self, schedule, machine, clock, checker, objective, trace) -> int:
+        made = 0
+        while True:
+            pool = build_candidate_pool(
+                schedule, checker, objective, machine,
+            not_before=self._decision_time(clock),
+            )
+            if not pool:
+                break
+            if not self._commit_first_startable(schedule, pool, clock, trace, objective):
+                break
+            made += 1
+            if schedule.is_complete:
+                break
+        return made
+
+
+#: Registry used by experiment drivers and the CLI examples.
+SLRH_VARIANTS: dict[str, type[SlrhScheduler]] = {
+    "SLRH-1": SLRH1,
+    "SLRH-2": SLRH2,
+    "SLRH-3": SLRH3,
+}

@@ -1,0 +1,64 @@
+"""Experiment drivers: one entry point per paper table and figure.
+
+Every artefact in the paper's evaluation (§VI, §VII) has a driver here that
+regenerates it — the same workload protocol (ETC × DAG cross product shared
+across grid cases), the same two-stage weight optimisation, the same
+metrics.  Drivers take an :class:`~repro.experiments.scale.ExperimentScale`
+so the study can run anywhere from smoke-test size to the paper's full
+|T| = 1024, 10 × 10 protocol (see DESIGN.md §3 on why reduced scale is the
+default).
+"""
+
+from repro.experiments.comparison import (
+    CaseComparison,
+    ComparisonResults,
+    HeuristicScenarioOutcome,
+    run_comparison,
+)
+from repro.experiments.figures import (
+    figure2_delta_t_sweep,
+    figure3_weight_sensitivity,
+    figure4_t100_comparison,
+    figure5_vs_upper_bound,
+    figure6_execution_time,
+    figure7_value_metric,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.scale import (
+    MEDIUM_SCALE,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    scale_from_env,
+)
+from repro.experiments.tables import (
+    table1_configurations,
+    table2_machine_parameters,
+    table3_min_relative_speed,
+    table4_upper_bound,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SMOKE_SCALE",
+    "SMALL_SCALE",
+    "MEDIUM_SCALE",
+    "PAPER_SCALE",
+    "scale_from_env",
+    "table1_configurations",
+    "table2_machine_parameters",
+    "table3_min_relative_speed",
+    "table4_upper_bound",
+    "figure2_delta_t_sweep",
+    "figure3_weight_sensitivity",
+    "figure4_t100_comparison",
+    "figure5_vs_upper_bound",
+    "figure6_execution_time",
+    "figure7_value_metric",
+    "run_comparison",
+    "ComparisonResults",
+    "CaseComparison",
+    "HeuristicScenarioOutcome",
+    "format_table",
+]

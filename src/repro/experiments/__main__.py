@@ -1,0 +1,97 @@
+"""CLI: regenerate the paper's full evaluation report.
+
+Usage::
+
+    python -m repro.experiments [--scale smoke|small|medium|paper]
+                                [--only tables|fig2|fig3|fig4|fig5|fig6|fig7]
+                                [--out PATH]
+
+Prints every table and figure the paper reports (at the selected scale) and
+optionally writes the combined report to a file.  Figures 3-7 share one
+cached weight-optimisation study, so requesting several of them costs
+little more than one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments import (
+    figure2_delta_t_sweep,
+    figure3_weight_sensitivity,
+    figure4_t100_comparison,
+    figure5_vs_upper_bound,
+    figure6_execution_time,
+    figure7_value_metric,
+)
+from repro.experiments.scale import _PRESETS, scale_from_env
+from repro.experiments.tables import render_tables
+
+_SECTIONS = ("tables", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7")
+
+
+def build_report(scale, only: list[str]) -> str:
+    parts: list[str] = [
+        f"SLRH reproduction report — scale '{scale.name}' "
+        f"(|T|={scale.n_tasks}, {scale.n_etc} ETC x {scale.n_dag} DAG)",
+    ]
+    if "tables" in only:
+        parts.append(render_tables(scale))
+    if "fig2" in only:
+        parts.append(figure2_delta_t_sweep(scale).render())
+    if "fig3" in only:
+        fig3 = figure3_weight_sensitivity(scale)
+        parts.append(fig3.render())
+        rate = fig3.slrh2_success_rate()
+        if rate is not None:
+            parts.append(f"SLRH-2 mapping success rate: {rate:.2f}")
+    for key, fn in (
+        ("fig4", figure4_t100_comparison),
+        ("fig5", figure5_vs_upper_bound),
+        ("fig6", figure6_execution_time),
+        ("fig7", figure7_value_metric),
+    ):
+        if key in only:
+            parts.append(fn(scale).render())
+    return "\n\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(_PRESETS), default=None,
+        help="study size (default: $REPRO_SCALE or 'small')",
+    )
+    parser.add_argument(
+        "--only", nargs="*", choices=_SECTIONS, default=list(_SECTIONS),
+        help="subset of artefacts to regenerate",
+    )
+    parser.add_argument("--out", default=None, help="also write the report here")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the weight-search study (default: "
+        "$REPRO_JOBS or serial)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+
+    scale = _PRESETS[args.scale] if args.scale else scale_from_env()
+    start = time.perf_counter()
+    report = build_report(scale, args.only)
+    report += f"\n\ngenerated in {time.perf_counter() - start:.1f}s"
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""Shared engine behind Figures 3-7.
+
+The paper evaluates every heuristic at its *per-scenario optimal* (α, β) —
+found by the §VII two-stage search — then averages T100, upper-bound
+ratio, heuristic execution time and the value metric over the ETC × DAG
+cross product, per grid case.  All four result figures are views of this
+one expensive computation, so it runs once per scale (memoised by preset
+name) and the figure drivers slice it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
+from repro.bounds.upper_bound import upper_bound
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1, SLRH2, SLRH3, MappingResult, SlrhConfig
+from repro.experiments.reporting import mean_std
+from repro.experiments.scale import ExperimentScale, SMALL_SCALE
+from repro.tuning.weight_search import WeightSearchResult, search_weights
+
+CASES = ("A", "B", "C")
+
+#: The heuristics the paper carries through Figures 4-7.
+PLOTTED_HEURISTICS = ("SLRH-1", "SLRH-3", "Max-Max")
+
+
+def make_factory(heuristic: str):
+    """Weight-point → runnable heuristic, for the §VII search."""
+    if heuristic == "SLRH-1":
+        return lambda w: SLRH1(SlrhConfig(weights=w))
+    if heuristic == "SLRH-2":
+        return lambda w: SLRH2(SlrhConfig(weights=w))
+    if heuristic == "SLRH-3":
+        return lambda w: SLRH3(SlrhConfig(weights=w))
+    if heuristic == "Max-Max":
+        return lambda w: MaxMaxScheduler(MaxMaxConfig(weights=w))
+    raise KeyError(f"unknown heuristic {heuristic!r}")
+
+
+@dataclass(frozen=True)
+class HeuristicScenarioOutcome:
+    """One (heuristic, scenario, case) cell: the optimal-weight run."""
+
+    heuristic: str
+    case: str
+    etc: int
+    dag: int
+    succeeded: bool
+    alpha: float
+    beta: float
+    t100: int
+    aet: float
+    heuristic_seconds: float
+    ub: int
+    evaluations: int
+
+    @property
+    def vs_bound(self) -> float:
+        return self.t100 / self.ub if self.ub else float("nan")
+
+    @property
+    def value_metric(self) -> float:
+        """Figure 7: T100 per second of heuristic execution time."""
+        if self.heuristic_seconds <= 0:
+            return float("nan")
+        return self.t100 / self.heuristic_seconds
+
+
+@dataclass
+class CaseComparison:
+    """Aggregates for one (heuristic, case) pair."""
+
+    heuristic: str
+    case: str
+    outcomes: list[HeuristicScenarioOutcome] = field(default_factory=list)
+
+    @property
+    def successes(self) -> list[HeuristicScenarioOutcome]:
+        return [o for o in self.outcomes if o.succeeded]
+
+    @property
+    def success_rate(self) -> float:
+        return len(self.successes) / len(self.outcomes) if self.outcomes else 0.0
+
+    def _stat(self, attr: str) -> tuple[float, float]:
+        return mean_std([getattr(o, attr) for o in self.successes])
+
+    @property
+    def t100_mean(self) -> float:
+        return self._stat("t100")[0]
+
+    @property
+    def vs_bound_mean(self) -> float:
+        return self._stat("vs_bound")[0]
+
+    @property
+    def exec_time_mean(self) -> float:
+        return self._stat("heuristic_seconds")[0]
+
+    @property
+    def value_metric_mean(self) -> float:
+        return self._stat("value_metric")[0]
+
+    def alpha_stats(self) -> tuple[float, float, float]:
+        """(mean, min, max) of the optimal α across scenarios (Fig. 3)."""
+        values = [o.alpha for o in self.successes]
+        if not values:
+            return (float("nan"),) * 3
+        return (sum(values) / len(values), min(values), max(values))
+
+    def beta_stats(self) -> tuple[float, float, float]:
+        """(mean, min, max) of the optimal β across scenarios (Fig. 3)."""
+        values = [o.beta for o in self.successes]
+        if not values:
+            return (float("nan"),) * 3
+        return (sum(values) / len(values), min(values), max(values))
+
+
+@dataclass
+class ComparisonResults:
+    """The full study: every (heuristic, case) aggregate plus scenario cells."""
+
+    scale_name: str
+    cells: dict[tuple[str, str], CaseComparison] = field(default_factory=dict)
+
+    def cell(self, heuristic: str, case: str) -> CaseComparison:
+        return self.cells[(heuristic, case)]
+
+    def heuristics(self) -> list[str]:
+        return sorted({h for (h, _) in self.cells}, key=_heuristic_order)
+
+
+def _heuristic_order(name: str) -> tuple:
+    order = {"SLRH-1": 0, "SLRH-2": 1, "SLRH-3": 2, "Max-Max": 3}
+    return (order.get(name, 9), name)
+
+
+def _search_to_outcome(
+    heuristic: str,
+    case: str,
+    etc: int,
+    dag: int,
+    ws: WeightSearchResult,
+    ub: int,
+) -> HeuristicScenarioOutcome:
+    if ws.best_result is None:
+        return HeuristicScenarioOutcome(
+            heuristic=heuristic, case=case, etc=etc, dag=dag,
+            succeeded=False, alpha=float("nan"), beta=float("nan"),
+            t100=0, aet=float("nan"), heuristic_seconds=float("nan"),
+            ub=ub, evaluations=ws.evaluations,
+        )
+    best: MappingResult = ws.best_result
+    w: Weights = best.weights
+    return HeuristicScenarioOutcome(
+        heuristic=heuristic, case=case, etc=etc, dag=dag,
+        succeeded=True, alpha=w.alpha, beta=w.beta,
+        t100=best.t100, aet=best.aet,
+        heuristic_seconds=best.heuristic_seconds,
+        ub=ub, evaluations=ws.evaluations,
+    )
+
+
+def _solve_cell(
+    scale: ExperimentScale, heuristic: str, case: str, e: int, d: int
+) -> HeuristicScenarioOutcome:
+    """One (heuristic, case, ETC, DAG) cell: weight-search + bound.
+
+    Module-level (picklable) so worker processes can run it; each worker
+    rebuilds the suite once per process via the scale's cached
+    constructor.
+    """
+    suite = scale.suite()
+    scenario = suite.scenario(e, d, case)
+    ub = upper_bound(scenario).t100_bound
+    ws = search_weights(
+        scenario,
+        make_factory(heuristic),
+        coarse_step=scale.coarse_step,
+        fine_step=scale.fine_step,
+        fine=scale.fine,
+    )
+    return _search_to_outcome(heuristic, case, e, d, ws, ub)
+
+
+def run_comparison(
+    scale: ExperimentScale = SMALL_SCALE,
+    heuristics: tuple[str, ...] | None = None,
+    n_jobs: int | None = None,
+) -> ComparisonResults:
+    """Run the full §VII study at *scale* (memoised per preset name).
+
+    ``n_jobs`` > 1 fans the (heuristic, case, ETC, DAG) cells out over a
+    process pool — the cells are embarrassingly parallel, and at medium
+    or paper scale the study is hours of single-core work.  Defaults to
+    the ``REPRO_JOBS`` environment variable, else serial.
+    """
+    if heuristics is None:
+        heuristics = PLOTTED_HEURISTICS + (("SLRH-2",) if scale.include_slrh2 else ())
+        heuristics = tuple(sorted(set(heuristics), key=_heuristic_order))
+    if n_jobs is None:
+        n_jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    return _run_comparison_cached(scale, tuple(heuristics), n_jobs)
+
+
+@lru_cache(maxsize=4)
+def _run_comparison_cached(
+    scale: ExperimentScale, heuristics: tuple[str, ...], n_jobs: int
+) -> ComparisonResults:
+    suite = scale.suite()
+    jobs = [
+        (heuristic, case, e, d)
+        for heuristic in heuristics
+        for case in CASES
+        for e in range(suite.n_etc)
+        for d in range(suite.n_dag)
+    ]
+    if n_jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            outcomes = list(
+                pool.map(
+                    _solve_cell,
+                    [scale] * len(jobs),
+                    *zip(*jobs),
+                    chunksize=max(1, len(jobs) // (4 * n_jobs)),
+                )
+            )
+    else:
+        outcomes = [_solve_cell(scale, *job) for job in jobs]
+
+    results = ComparisonResults(scale_name=scale.name)
+    for heuristic in heuristics:
+        for case in CASES:
+            results.cells[(heuristic, case)] = CaseComparison(
+                heuristic=heuristic, case=case
+            )
+    for outcome in outcomes:
+        results.cells[(outcome.heuristic, outcome.case)].outcomes.append(outcome)
+    return results

@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; :func:`format_table` keeps the output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render *rows* as an aligned monospace table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def mean_std(values: Sequence[float]) -> tuple[float, float]:
+    """Sample mean and (population) standard deviation; (nan, nan) if empty."""
+    if not values:
+        return (float("nan"), float("nan"))
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return (mean, var**0.5)

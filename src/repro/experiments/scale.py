@@ -1,0 +1,107 @@
+"""Experiment scale presets.
+
+The paper's full protocol — |T| = 1024 subtasks, 10 ETC × 10 DAG scenarios,
+an exhaustive 0.1-then-0.02 weight grid, three grid cases, four heuristics —
+costs days in pure Python (the paper's own Figure 6 reports several hundred
+seconds *per single mapping* on 2004 hardware, and a weight search performs
+dozens of mappings per scenario).  Experiments therefore default to the
+proportional-shrink protocol (see
+:func:`repro.workload.scenario.paper_scaled_spec`): |T|, τ and every battery
+scale together, preserving the paper's resource regime.
+
+Select a preset with ``REPRO_SCALE`` (``smoke`` / ``small`` / ``medium`` /
+``paper``) or pass an :class:`ExperimentScale` explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.workload.scenario import ScenarioSuite, paper_scaled_suite
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Everything a driver needs to size a study.
+
+    Attributes
+    ----------
+    name:
+        Preset label (used as the cache key for the shared comparison run).
+    n_tasks / n_etc / n_dag / seed:
+        Workload protocol size (paper: 1024 / 10 / 10).
+    coarse_step / fine_step / fine:
+        Weight-search resolution (§VII; paper: 0.1 / 0.02 / refinement on).
+    delta_t_values:
+        ΔT ladder for the Figure 2 sweep, in cycles.
+    include_slrh2:
+        Whether the weight-sensitivity stage also runs SLRH-2 (the paper
+        ran it, found it rarely succeeds, and dropped it from the plots).
+    """
+
+    name: str
+    n_tasks: int
+    n_etc: int
+    n_dag: int
+    seed: int = 0
+    coarse_step: float = 0.1
+    fine_step: float = 0.02
+    fine: bool = True
+    delta_t_values: tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100, 200)
+    include_slrh2: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 2 or self.n_etc < 1 or self.n_dag < 1:
+            raise ValueError("degenerate experiment scale")
+
+    def suite(self) -> ScenarioSuite:
+        """The (cached) scenario suite for this scale."""
+        return _suite_cache(self.name, self.n_tasks, self.n_etc, self.n_dag, self.seed)
+
+
+@lru_cache(maxsize=8)
+def _suite_cache(name: str, n_tasks: int, n_etc: int, n_dag: int, seed: int) -> ScenarioSuite:
+    return paper_scaled_suite(n_tasks, n_etc=n_etc, n_dag=n_dag, seed=seed)
+
+
+#: Seconds-scale preset for CI smoke runs.
+SMOKE_SCALE = ExperimentScale(
+    name="smoke", n_tasks=24, n_etc=1, n_dag=1,
+    coarse_step=0.25, fine=False,
+    delta_t_values=(1, 5, 10, 50, 200, 1000, 4000),
+)
+
+#: Default preset: minutes-scale, preserves every qualitative shape.
+SMALL_SCALE = ExperimentScale(
+    name="small", n_tasks=48, n_etc=2, n_dag=2,
+    coarse_step=0.2, fine=False,
+    delta_t_values=(1, 2, 5, 10, 20, 50, 100, 200, 1000, 4000),
+)
+
+#: Tens-of-minutes preset for closer quantitative comparison.
+MEDIUM_SCALE = ExperimentScale(
+    name="medium", n_tasks=96, n_etc=3, n_dag=3,
+    coarse_step=0.1, fine=False,
+)
+
+#: The paper's protocol, unabridged.  Expect very long runtimes.
+PAPER_SCALE = ExperimentScale(
+    name="paper", n_tasks=1024, n_etc=10, n_dag=10,
+    coarse_step=0.1, fine_step=0.02, fine=True,
+)
+
+_PRESETS = {s.name: s for s in (SMOKE_SCALE, SMALL_SCALE, MEDIUM_SCALE, PAPER_SCALE)}
+
+
+def scale_from_env(default: ExperimentScale = SMALL_SCALE) -> ExperimentScale:
+    """Resolve the active preset from ``REPRO_SCALE`` (default: small)."""
+    key = os.environ.get("REPRO_SCALE", "").strip().lower()
+    if not key:
+        return default
+    if key not in _PRESETS:
+        raise KeyError(
+            f"REPRO_SCALE={key!r} unknown; expected one of {sorted(_PRESETS)}"
+        )
+    return _PRESETS[key]

@@ -1,0 +1,139 @@
+"""Drivers for the paper's Tables 1-4.
+
+* **Table 1** — the three grid configurations (constants).
+* **Table 2** — machine class parameters (constants, scaled batteries noted).
+* **Table 3** — average minimum relative speed MR(j) ± σ per case, computed
+  across the scale's ETC matrices exactly as §VI describes.
+* **Table 4** — the equivalent-computing-cycles upper bound on T100, one
+  row per ETC matrix, one column per case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bounds.upper_bound import upper_bound
+from repro.experiments.reporting import format_table, mean_std
+from repro.experiments.scale import ExperimentScale, SMALL_SCALE
+from repro.grid.machine import FAST_MACHINE, SLOW_MACHINE
+from repro.util.units import MEGABIT
+from repro.workload.etc import min_relative_speed
+from repro.workload.scenario import CASE_COLUMNS
+
+CASES = ("A", "B", "C")
+
+
+def table1_configurations() -> list[dict]:
+    """Table 1 rows: machines per class in each case."""
+    rows = []
+    for case in CASES:
+        cols = CASE_COLUMNS[case]
+        rows.append(
+            {
+                "case": case,
+                "n_fast": sum(1 for j in cols if j < 2),
+                "n_slow": sum(1 for j in cols if j >= 2),
+            }
+        )
+    return rows
+
+
+def table2_machine_parameters() -> list[dict]:
+    """Table 2 rows: B, C, E, BW per machine class (paper-scale batteries)."""
+    rows = []
+    for spec in (FAST_MACHINE, SLOW_MACHINE):
+        rows.append(
+            {
+                "class": spec.machine_class.value,
+                "B_energy_units": spec.battery,
+                "C_units_per_s": spec.transmit_rate,
+                "E_units_per_s": spec.compute_rate,
+                "BW_mbit_per_s": spec.bandwidth / MEGABIT,
+            }
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class MinRatioStats:
+    """Mean (std) of MR(j) for one machine in one case, across ETCs."""
+
+    case: str
+    machine: str
+    mean: float
+    std: float
+
+
+def table3_min_relative_speed(scale: ExperimentScale = SMALL_SCALE) -> list[MinRatioStats]:
+    """Table 3: average minimum relative speed per non-reference machine.
+
+    The reference machine (fast-0, MR ≡ 1) is omitted, as in the paper.
+    """
+    suite = scale.suite()
+    out: list[MinRatioStats] = []
+    for case in CASES:
+        grid = suite.case_grid(case)
+        cols = list(CASE_COLUMNS[case])
+        per_machine: list[list[float]] = [[] for _ in cols]
+        for etc in suite.etcs:
+            mr = min_relative_speed(etc[:, cols], reference=0)
+            for k in range(len(cols)):
+                per_machine[k].append(float(mr[k]))
+        for k in range(1, len(cols)):  # skip the reference machine
+            mean, std = mean_std(per_machine[k])
+            out.append(
+                MinRatioStats(case=case, machine=grid[k].name, mean=mean, std=std)
+            )
+    return out
+
+
+def table4_upper_bound(scale: ExperimentScale = SMALL_SCALE) -> list[dict]:
+    """Table 4: T100 upper bound per ETC matrix per case.
+
+    DAG choice does not affect the bound (it ignores precedence), so one
+    row per ETC matrix suffices, exactly as in the paper.
+    """
+    suite = scale.suite()
+    rows = []
+    for e in range(suite.n_etc):
+        row: dict = {"etc": e}
+        for case in CASES:
+            result = upper_bound(suite.scenario(e, 0, case))
+            row[f"case_{case}"] = result.t100_bound
+            row[f"case_{case}_limit"] = result.limiting_resource
+        rows.append(row)
+    return rows
+
+
+def render_tables(scale: ExperimentScale = SMALL_SCALE) -> str:
+    """All four tables as one text report."""
+    parts = [
+        format_table(
+            ["case", "# fast", "# slow"],
+            [[r["case"], r["n_fast"], r["n_slow"]] for r in table1_configurations()],
+            title="Table 1. Simulation configurations",
+        ),
+        format_table(
+            ["class", "B(j)", "C(j) u/s", "E(j) u/s", "BW Mbit/s"],
+            [
+                [r["class"], r["B_energy_units"], r["C_units_per_s"],
+                 r["E_units_per_s"], r["BW_mbit_per_s"]]
+                for r in table2_machine_parameters()
+            ],
+            title="Table 2. Machine class parameters (paper-scale batteries)",
+        ),
+        format_table(
+            ["case", "machine", "mean MR", "std"],
+            [[s.case, s.machine, s.mean, s.std] for s in table3_min_relative_speed(scale)],
+            title=f"Table 3. Average minimum relative speed ({scale.name} scale)",
+        ),
+        format_table(
+            ["ETC", "Case A", "Case B", "Case C", "C limit"],
+            [
+                [r["etc"], r["case_A"], r["case_B"], r["case_C"], r["case_C_limit"]]
+                for r in table4_upper_bound(scale)
+            ],
+            title=f"Table 4. Upper bound on T100 ({scale.name} scale, |T|={scale.n_tasks})",
+        ),
+    ]
+    return "\n\n".join(parts)

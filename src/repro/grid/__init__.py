@@ -1,0 +1,41 @@
+"""Ad hoc grid substrate: machines, energy, network, and grid configurations.
+
+The grid model follows §III of the paper: each machine *j* is characterised
+by a battery capacity ``B(j)``, a computation energy rate ``E(j)``, a
+communication (transmit) energy rate ``C(j)`` and a bandwidth ``BW(j)``.
+Machines come in two classes — "fast" (notebook-class, Dell Precision M60)
+and "slow" (PDA-class, Dell Axim X5) — whose Table 2 constants are exposed as
+:data:`FAST_MACHINE` and :data:`SLOW_MACHINE`.
+"""
+
+from repro.grid.config import (
+    CASE_A,
+    CASE_B,
+    CASE_C,
+    PAPER_CASES,
+    GridConfig,
+    make_case,
+)
+from repro.grid.energy import EnergyLedger
+from repro.grid.machine import (
+    FAST_MACHINE,
+    SLOW_MACHINE,
+    MachineClass,
+    MachineSpec,
+)
+from repro.grid.network import NetworkModel
+
+__all__ = [
+    "MachineClass",
+    "MachineSpec",
+    "FAST_MACHINE",
+    "SLOW_MACHINE",
+    "GridConfig",
+    "make_case",
+    "CASE_A",
+    "CASE_B",
+    "CASE_C",
+    "PAPER_CASES",
+    "NetworkModel",
+    "EnergyLedger",
+]

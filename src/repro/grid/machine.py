@@ -1,0 +1,135 @@
+"""Machine model (§III, Table 2).
+
+Each grid machine is described by an immutable :class:`MachineSpec`.  The
+paper's two machine classes are provided as module constants with the exact
+Table 2 values:
+
+===========  =================  =================
+parameter    "fast" machines    "slow" machines
+===========  =================  =================
+``B(j)``     580 energy units   58 energy units
+``C(j)``     0.2 units/s        0.002 units/s
+``E(j)``     0.1 units/s        0.001 units/s
+``BW(j)``    8 Mbit/s           4 Mbit/s
+===========  =================  =================
+
+Fast machines model a 1.7 GHz notebook (Dell Precision M60); slow machines a
+400 MHz PDA (Dell Axim X5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.units import MEGABIT
+
+
+class MachineClass(enum.Enum):
+    """The two machine classes used in the paper's grid configurations."""
+
+    FAST = "fast"
+    SLOW = "slow"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static characterisation of one grid machine.
+
+    Attributes
+    ----------
+    battery:
+        Energy capacity ``B(j)`` in energy units.
+    compute_rate:
+        Energy consumed per second of computation, ``E(j)``.
+    transmit_rate:
+        Energy consumed per second of *transmission*, ``C(j)``.  Receiving is
+        free (simulation assumption (a) in §III).
+    bandwidth:
+        Link bandwidth ``BW(j)`` in bits per second.
+    machine_class:
+        FAST or SLOW; drives ETC generation and case construction.
+    name:
+        Human-readable label, e.g. ``"fast-0"``.
+    """
+
+    battery: float
+    compute_rate: float
+    transmit_rate: float
+    bandwidth: float
+    machine_class: MachineClass
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.battery <= 0:
+            raise ValueError(f"battery must be positive, got {self.battery}")
+        if self.compute_rate < 0 or self.transmit_rate < 0:
+            raise ValueError("energy rates must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    def compute_energy(self, seconds: float) -> float:
+        """Energy to compute for *seconds* on this machine."""
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds}")
+        return self.compute_rate * seconds
+
+    def transmit_energy(self, seconds: float) -> float:
+        """Energy to transmit for *seconds* from this machine."""
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds}")
+        return self.transmit_rate * seconds
+
+    def with_battery_scale(self, factor: float) -> "MachineSpec":
+        """Return a copy with the battery capacity scaled by *factor*.
+
+        Used by the proportional-shrink protocol: a reduced-scale study with
+        |T| = n keeps every rate and ETC distribution but scales B(j) and τ
+        by n/1024, preserving the paper's resource regime (fast machines
+        energy-bound, slow machines time-bound).
+        """
+        if factor <= 0:
+            raise ValueError(f"battery scale factor must be positive, got {factor}")
+        return MachineSpec(
+            battery=self.battery * factor,
+            compute_rate=self.compute_rate,
+            transmit_rate=self.transmit_rate,
+            bandwidth=self.bandwidth,
+            machine_class=self.machine_class,
+            name=self.name,
+        )
+
+    def renamed(self, name: str) -> "MachineSpec":
+        """Return a copy of this spec with a new :attr:`name`."""
+        return MachineSpec(
+            battery=self.battery,
+            compute_rate=self.compute_rate,
+            transmit_rate=self.transmit_rate,
+            bandwidth=self.bandwidth,
+            machine_class=self.machine_class,
+            name=name,
+        )
+
+
+#: Table 2 "fast" machine (notebook class).
+FAST_MACHINE = MachineSpec(
+    battery=580.0,
+    compute_rate=0.1,
+    transmit_rate=0.2,
+    bandwidth=8 * MEGABIT,
+    machine_class=MachineClass.FAST,
+    name="fast",
+)
+
+#: Table 2 "slow" machine (PDA class).
+SLOW_MACHINE = MachineSpec(
+    battery=58.0,
+    compute_rate=0.001,
+    transmit_rate=0.002,
+    bandwidth=4 * MEGABIT,
+    machine_class=MachineClass.SLOW,
+    name="slow",
+)

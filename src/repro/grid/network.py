@@ -1,0 +1,75 @@
+"""Communication model (§III).
+
+The time to move one bit from machine *i* to machine *j* is
+
+.. math::  CMT(i, j) = 1 / \\min(BW(i), BW(j))
+
+so a transfer of ``bits`` takes ``bits * CMT(i, j)`` seconds.  Transfers
+between subtasks co-located on one machine are free and instantaneous
+(assumption (a)); each machine can drive one outgoing and one incoming
+transfer at a time (assumption (c)) — that capacity constraint lives in
+:mod:`repro.sim.timeline`, not here.
+
+Only the *sender* pays energy, at its ``C(j)`` rate (assumption (a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.config import GridConfig
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Pairwise communication times and energies for one grid configuration.
+
+    Precomputes the ``CMT`` matrix so the inner scheduling loops do a single
+    array lookup per candidate evaluation.
+    """
+
+    grid: GridConfig
+
+    def __post_init__(self) -> None:
+        bw = np.array([m.bandwidth for m in self.grid], dtype=float)
+        cmt = 1.0 / np.minimum.outer(bw, bw)
+        object.__setattr__(self, "_cmt", cmt)
+        object.__setattr__(self, "_worst_cmt", float(1.0 / bw.min()))
+
+    def cmt(self, src: int, dst: int) -> float:
+        """Seconds per bit from machine *src* to machine *dst* (0 if same)."""
+        if src == dst:
+            return 0.0
+        return float(self._cmt[src, dst])
+
+    @property
+    def worst_case_cmt(self) -> float:
+        """Seconds per bit across the lowest-bandwidth link in the system.
+
+        Used by the SLRH feasibility check (§IV): before a subtask's children
+        are mapped, their incoming transfers are costed as if they crossed
+        this worst link.
+        """
+        return self._worst_cmt
+
+    def transfer_time(self, src: int, dst: int, bits: float) -> float:
+        """Seconds to move *bits* from *src* to *dst* (0 if co-located)."""
+        if bits < 0:
+            raise ValueError(f"negative transfer size {bits}")
+        return bits * self.cmt(src, dst)
+
+    def transfer_energy(self, src: int, dst: int, bits: float) -> float:
+        """Energy drawn from *src* (the sender) to move *bits* to *dst*."""
+        return self.grid[src].transmit_energy(self.transfer_time(src, dst, bits))
+
+    def worst_case_transfer_energy(self, src: int, bits: float) -> float:
+        """Energy from *src* if *bits* crossed the system's worst link.
+
+        Co-located children would actually cost nothing; this deliberately
+        over-reserves, per the paper's conservative feasibility rule.
+        """
+        if bits < 0:
+            raise ValueError(f"negative transfer size {bits}")
+        return self.grid[src].transmit_energy(bits * self._worst_cmt)

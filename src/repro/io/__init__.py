@@ -1,0 +1,30 @@
+"""Persistence: JSON round-tripping of scenarios and mappings.
+
+Scenarios are fully determined by their seeds in normal use, but field
+studies and regression corpora need concrete instances on disk; likewise a
+mapping produced on one machine must be auditable on another.  The format
+is deliberately plain JSON — no pickle, no custom binary — so artefacts
+stay inspectable and diffable.
+"""
+
+from repro.io.serialization import (
+    load_mapping,
+    load_scenario,
+    mapping_to_dict,
+    mapping_from_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+    save_mapping,
+    save_scenario,
+)
+
+__all__ = [
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "save_mapping",
+    "load_mapping",
+]

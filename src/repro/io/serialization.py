@@ -1,0 +1,219 @@
+"""JSON serialisation of scenarios and mappings.
+
+Two artefact kinds:
+
+* **scenario** — grid (machine specs), ETC matrix, DAG edges, data sizes,
+  τ, name.  `scenario → dict → scenario` is lossless (floats verbatim).
+* **mapping** — the committed assignments of a :class:`Schedule`
+  (task, version, machine, start, finish, plus each incoming transfer) and
+  any external debits.  :func:`mapping_from_dict` *replays* the assignments
+  through ``Schedule.commit`` in topological order, so a loaded mapping has
+  passed the same invariants as a freshly computed one — a tampered file
+  that violates the model is rejected, not silently accepted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.grid.config import GridConfig
+from repro.grid.machine import MachineClass, MachineSpec
+from repro.sim.schedule import ExecutionPlan, PlannedComm, Schedule
+from repro.workload.dag import TaskGraph
+from repro.workload.scenario import Scenario
+from repro.workload.versions import Version
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+# -- scenarios ------------------------------------------------------------------
+
+
+def _machine_to_dict(m: MachineSpec) -> dict:
+    return {
+        "battery": m.battery,
+        "compute_rate": m.compute_rate,
+        "transmit_rate": m.transmit_rate,
+        "bandwidth": m.bandwidth,
+        "machine_class": m.machine_class.value,
+        "name": m.name,
+    }
+
+
+def _machine_from_dict(d: dict) -> MachineSpec:
+    return MachineSpec(
+        battery=float(d["battery"]),
+        compute_rate=float(d["compute_rate"]),
+        transmit_rate=float(d["transmit_rate"]),
+        bandwidth=float(d["bandwidth"]),
+        machine_class=MachineClass(d["machine_class"]),
+        name=str(d.get("name", "")),
+    )
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """Lossless plain-dict form of *scenario*."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "scenario",
+        "name": scenario.name,
+        "tau": scenario.tau,
+        "grid": {
+            "name": scenario.grid.name,
+            "machines": [_machine_to_dict(m) for m in scenario.grid],
+        },
+        "etc": [list(map(float, row)) for row in scenario.etc],
+        "dag": {
+            "n_tasks": scenario.dag.n_tasks,
+            "edges": [[u, v] for (u, v) in scenario.dag.edges()],
+        },
+        "data_sizes": [
+            [u, v, float(bits)] for (u, v), bits in sorted(scenario.data_sizes.items())
+        ],
+    }
+
+
+def scenario_from_dict(data: dict) -> Scenario:
+    """Inverse of :func:`scenario_to_dict` (validates structure)."""
+    import numpy as np
+
+    if data.get("kind") != "scenario":
+        raise ValueError(f"not a scenario document (kind={data.get('kind')!r})")
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported scenario format {data.get('format')!r}")
+    grid = GridConfig(
+        machines=tuple(_machine_from_dict(m) for m in data["grid"]["machines"]),
+        name=data["grid"].get("name", "grid"),
+    )
+    dag = TaskGraph(
+        int(data["dag"]["n_tasks"]),
+        [(int(u), int(v)) for u, v in data["dag"]["edges"]],
+    )
+    return Scenario(
+        grid=grid,
+        etc=np.array(data["etc"], dtype=float),
+        dag=dag,
+        data_sizes={(int(u), int(v)): float(b) for u, v, b in data["data_sizes"]},
+        tau=float(data["tau"]),
+        name=str(data.get("name", "scenario")),
+    )
+
+
+def save_scenario(scenario: Scenario, path: PathLike) -> None:
+    """Write *scenario* as JSON to *path*."""
+    Path(path).write_text(json.dumps(scenario_to_dict(scenario)))
+
+
+def load_scenario(path: PathLike) -> Scenario:
+    """Read a scenario JSON document from *path*."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- mappings ---------------------------------------------------------------------
+
+
+def mapping_to_dict(schedule: Schedule) -> dict:
+    """Plain-dict form of a schedule's committed assignments."""
+    assignments = []
+    for task in sorted(schedule.assignments):
+        a = schedule.assignments[task]
+        assignments.append(
+            {
+                "task": a.task,
+                "version": a.version.value,
+                "machine": a.machine,
+                "start": a.start,
+                "finish": a.finish,
+                "comms": [
+                    {
+                        "parent": c.parent,
+                        "src": c.src,
+                        "dst": c.dst,
+                        "bits": c.bits,
+                        "start": c.start,
+                        "finish": c.finish,
+                    }
+                    for c in a.comms
+                ],
+            }
+        )
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "mapping",
+        "scenario": schedule.scenario.name,
+        "assignments": assignments,
+        "external_debits": list(schedule.external_debits),
+    }
+
+
+def mapping_from_dict(data: dict, scenario: Scenario) -> Schedule:
+    """Reconstruct a :class:`Schedule` by replaying *data* onto *scenario*.
+
+    Every assignment passes through :meth:`Schedule.commit`, so all model
+    invariants (precedence, channel capacity, energy, reserves) are
+    re-verified; energies and durations are re-derived from the scenario,
+    guarding against stale or tampered files.
+    """
+    if data.get("kind") != "mapping":
+        raise ValueError(f"not a mapping document (kind={data.get('kind')!r})")
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported mapping format {data.get('format')!r}")
+    by_task = {int(rec["task"]): rec for rec in data["assignments"]}
+    schedule = Schedule(scenario)
+    for task in scenario.dag.topological_order:
+        rec = by_task.get(task)
+        if rec is None:
+            continue
+        version = Version(rec["version"])
+        machine = int(rec["machine"])
+        comms = tuple(
+            PlannedComm(
+                parent=int(c["parent"]),
+                child=task,
+                src=int(c["src"]),
+                dst=int(c["dst"]),
+                bits=float(c["bits"]),
+                start=float(c["start"]),
+                finish=float(c["finish"]),
+                energy=scenario.grid[int(c["src"])].transmit_energy(
+                    float(c["finish"]) - float(c["start"])
+                ),
+            )
+            for c in rec["comms"]
+        )
+        plan = ExecutionPlan(
+            task=task,
+            version=version,
+            machine=machine,
+            start=float(rec["start"]),
+            finish=float(rec["finish"]),
+            exec_energy=scenario.compute_energy(task, machine, version),
+            comms=comms,
+            energy_delta=scenario.compute_energy(task, machine, version)
+            + sum(c.energy for c in comms),
+            data_ready=float(rec["start"]),
+        )
+        schedule.commit(plan)
+    for j, debit in enumerate(data.get("external_debits", [])):
+        if debit:
+            schedule.debit_external(j, float(debit))
+    # Full independent re-check (durations vs ETC, transfer times vs
+    # bandwidth, channel capacity...) — a corrupted document fails here.
+    from repro.sim.validate import validate_schedule
+
+    validate_schedule(schedule)
+    return schedule
+
+
+def save_mapping(schedule: Schedule, path: PathLike) -> None:
+    """Write the schedule's assignments as JSON to *path*."""
+    Path(path).write_text(json.dumps(mapping_to_dict(schedule)))
+
+
+def load_mapping(path: PathLike, scenario: Scenario) -> Schedule:
+    """Read and replay a mapping JSON document against *scenario*."""
+    return mapping_from_dict(json.loads(Path(path).read_text()), scenario)

@@ -1,0 +1,72 @@
+"""Clock-driven control of the SLRH loop (§IV).
+
+The heuristic "operates on a clock-driven basis — i.e., the heuristic is
+executed at specified time intervals as opposed to whenever a machine
+becomes available".  One clock cycle is 0.1 s; the heuristic fires every
+ΔT cycles and considers start times up to H cycles ahead (the receding
+horizon).  :class:`SimulationClock` owns the cycle arithmetic so heuristics
+never manipulate raw floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import CYCLE_SECONDS
+
+
+@dataclass
+class SimulationClock:
+    """Discrete clock advancing in ΔT-cycle steps.
+
+    Attributes
+    ----------
+    delta_t_cycles:
+        ΔT — cycles between heuristic invocations (paper default 10).
+    horizon_cycles:
+        H — receding-horizon length in cycles (paper default 100).
+    cycle_seconds:
+        Real-time length of one cycle (0.1 s in the paper).
+    """
+
+    delta_t_cycles: int = 10
+    horizon_cycles: int = 100
+    cycle_seconds: float = CYCLE_SECONDS
+    cycle: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delta_t_cycles < 1:
+            raise ValueError("delta_t_cycles must be >= 1")
+        if self.horizon_cycles < 1:
+            raise ValueError("horizon_cycles must be >= 1")
+        if self.cycle_seconds <= 0:
+            raise ValueError("cycle_seconds must be positive")
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self.cycle * self.cycle_seconds
+
+    @property
+    def horizon_end(self) -> float:
+        """Latest permissible start time for a mapping made now (t + H)."""
+        return (self.cycle + self.horizon_cycles) * self.cycle_seconds
+
+    @property
+    def delta_t_seconds(self) -> float:
+        return self.delta_t_cycles * self.cycle_seconds
+
+    def tick(self) -> float:
+        """Advance by ΔT cycles; returns the new time in seconds."""
+        self.cycle += self.delta_t_cycles
+        return self.now
+
+    def within_horizon(self, start_time: float) -> bool:
+        """Whether *start_time* falls inside the receding horizon."""
+        return start_time <= self.horizon_end + 1e-9
+
+    def exceeded(self, tau: float) -> bool:
+        """Whether the clock has run past the time constraint τ."""
+        return self.now > tau + 1e-9

@@ -1,0 +1,94 @@
+"""Discrete-event core used by the execution engine.
+
+A minimal, dependency-free DES kernel: events carry a time, a kind and a
+payload; :class:`EventQueue` pops them in (time, insertion-order) order so
+simultaneous events replay deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class EventKind(enum.Enum):
+    """Event types emitted when a schedule is executed."""
+
+    TASK_START = "task_start"
+    TASK_FINISH = "task_finish"
+    COMM_START = "comm_start"
+    COMM_FINISH = "comm_finish"
+    MACHINE_LOSS = "machine_loss"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Replay order for events at the same instant: completions (which release
+#: resources and deliver data) fire before starts that may depend on them;
+#: machine losses are observed before anything else at that instant.
+_KIND_PRIORITY: dict[EventKind, int] = {
+    EventKind.MACHINE_LOSS: 0,
+    EventKind.COMM_FINISH: 1,
+    EventKind.TASK_FINISH: 2,
+    EventKind.TASK_START: 3,
+    EventKind.COMM_START: 4,
+}
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One timestamped simulation event.
+
+    Ordering is by (time, kind priority, seq): completions fire before
+    coincident starts, remaining ties replay in insertion order.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Heap-backed event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        if time < 0:
+            raise ValueError(f"negative event time {time}")
+        event = Event(
+            time=time,
+            priority=_KIND_PRIORITY[kind],
+            seq=next(self._counter),
+            kind=kind,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every event in order."""
+        while self._heap:
+            yield heapq.heappop(self._heap)

@@ -1,0 +1,610 @@
+"""The mutable mapping state shared by every heuristic.
+
+A :class:`Schedule` tracks, for one :class:`~repro.workload.scenario.Scenario`:
+
+* per-machine execution calendars and in/out comm-channel calendars
+  (:class:`~repro.sim.timeline.IntervalTimeline`);
+* the energy ledger (:class:`~repro.grid.energy.EnergyLedger`) — debited at
+  commit time, per §IV;
+* committed :class:`Assignment` records and the running aggregates the
+  objective function needs (T100, TEC, AET).
+
+Heuristics interact through a two-phase protocol:
+
+1. :meth:`Schedule.plan` computes a tentative :class:`ExecutionPlan` for a
+   (subtask, version, machine) triple — earliest start honouring precedence,
+   channel capacity and the "never look backward" clock rule — without
+   mutating anything;
+2. :meth:`Schedule.commit` applies a plan atomically (calendar reservations
+   plus energy debits).
+
+:meth:`Schedule.unassign` rolls a committed assignment back (used by the
+dynamic machine-loss engine), provided none of its children are mapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grid.energy import EnergyLedger
+from repro.sim.timeline import IntervalTimeline, earliest_common_gap
+from repro.workload.scenario import Scenario
+from repro.workload.versions import Version
+
+
+@dataclass(frozen=True)
+class PlannedComm:
+    """One scheduled parent→child data transfer."""
+
+    parent: int
+    child: int
+    src: int
+    dst: int
+    bits: float
+    start: float
+    finish: float
+    energy: float  # debited from the *sender* machine `src`
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A committed (subtask, version, machine) execution."""
+
+    task: int
+    version: Version
+    machine: int
+    start: float
+    finish: float
+    energy: float  # execution energy on `machine`
+    comms: tuple[PlannedComm, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Tentative assignment produced by :meth:`Schedule.plan`.
+
+    ``energy_delta`` is the *total* system energy this plan would consume
+    (execution on the target machine plus transmit energy on every sending
+    machine) — the quantity the objective's TEC term moves by.
+    """
+
+    task: int
+    version: Version
+    machine: int
+    start: float
+    finish: float
+    exec_energy: float
+    comms: tuple[PlannedComm, ...]
+    energy_delta: float
+    #: Earliest start given *precedence and communication* requirements only
+    #: (clamped to the planning clock) — ignores the machine's own queue.
+    #: This is the quantity the SLRH horizon test uses (§IV): a subtask is
+    #: horizon-eligible when its inputs arrive within [t, t+H], even if the
+    #: target machine's committed work pushes actual execution later.
+    data_ready: float = 0.0
+    feasible: bool = True
+    reason: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class _ChannelOverlay:
+    """Copy-on-write view of comm-channel calendars used during planning."""
+
+    schedule: "Schedule"
+    copies: dict[tuple[str, int], IntervalTimeline] = field(default_factory=dict)
+
+    def out(self, j: int) -> IntervalTimeline:
+        key = ("out", j)
+        if key not in self.copies:
+            self.copies[key] = self.schedule.out_channel[j].copy()
+        return self.copies[key]
+
+    def incoming(self, j: int) -> IntervalTimeline:
+        key = ("in", j)
+        if key not in self.copies:
+            self.copies[key] = self.schedule.in_channel[j].copy()
+        return self.copies[key]
+
+
+class Schedule:
+    """Mutable mapping state for one scenario (see module docstring).
+
+    Communication-energy reserves
+    -----------------------------
+    The §IV feasibility rule promises that a mapped subtask can "communicate
+    all the resulting data items to wherever they might need to go".  A
+    check at mapping time alone cannot keep that promise: later assignments
+    may drain the machine, wedging the whole mapping (children of a
+    zero-battery machine become unschedulable *everywhere*, because their
+    input data can no longer be transmitted).  With ``hold_comm_reserves``
+    (the default), committing a subtask therefore also *holds* the
+    worst-case outgoing-communication energy for each of its (necessarily
+    unmapped) children; when a child is later mapped, the per-edge reserve
+    is released and the actual transfer energy — never larger, since the
+    worst-case link is the slowest — is debited.  Available energy for new
+    work is ``remaining − reserved``.  Disabling the flag reproduces the
+    naive check-only behaviour (used by the feasibility ablation bench).
+    """
+
+    def __init__(self, scenario: Scenario, hold_comm_reserves: bool = True) -> None:
+        self.scenario = scenario
+        self.hold_comm_reserves = hold_comm_reserves
+        n_machines = scenario.n_machines
+        self.exec_timeline = [IntervalTimeline() for _ in range(n_machines)]
+        self.out_channel = [IntervalTimeline() for _ in range(n_machines)]
+        self.in_channel = [IntervalTimeline() for _ in range(n_machines)]
+        self.energy = EnergyLedger(scenario.grid)
+        self.assignments: dict[int, Assignment] = {}
+        self._unmapped_parents = [len(p) for p in scenario.dag.parents]
+        self._ready = {t for t, c in enumerate(self._unmapped_parents) if c == 0}
+        self._t100 = 0
+        self._makespan = 0.0
+        # Held outgoing-comm reserves: per machine total and per DAG edge.
+        self._reserved = [0.0] * n_machines
+        self._edge_reserve: dict[tuple[int, int], float] = {}
+        # Energy consumed outside any assignment (sunk cost after a machine
+        # loss); validation reconciles the ledger against assignments plus
+        # these.
+        self.external_debits = [0.0] * n_machines
+        # Machines currently absent from the ad hoc grid (churn engine).
+        self.offline: set[int] = set()
+
+    # -- aggregate metrics --------------------------------------------------
+
+    @property
+    def t100(self) -> int:
+        """Number of subtasks mapped at their primary version."""
+        return self._t100
+
+    @property
+    def makespan(self) -> float:
+        """AET — finish time of the last mapped subtask (0 when empty)."""
+        return self._makespan
+
+    @property
+    def total_energy_consumed(self) -> float:
+        """TEC over all machines."""
+        return self.energy.total_energy_consumed
+
+    @property
+    def total_system_energy(self) -> float:
+        """TSE over all machines."""
+        return self.energy.total_system_energy
+
+    @property
+    def n_mapped(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every subtask has been mapped."""
+        return len(self.assignments) == self.scenario.n_tasks
+
+    def meets_constraints(self) -> bool:
+        """Complete mapping within τ (energy holds by construction)."""
+        return self.is_complete and self._makespan <= self.scenario.tau + 1e-9
+
+    # -- task-state queries --------------------------------------------------
+
+    def is_mapped(self, task: int) -> bool:
+        return task in self.assignments
+
+    def ready_tasks(self) -> frozenset[int]:
+        """Unmapped subtasks whose parents are all mapped — the raw pool
+        from which the feasibility filter builds U."""
+        return frozenset(self._ready)
+
+    def unmapped_tasks(self) -> list[int]:
+        return [t for t in range(self.scenario.n_tasks) if t not in self.assignments]
+
+    def machine_available(self, j: int, clock: float) -> bool:
+        """SLRH availability test (§IV): machine *j* is part of the grid and
+        has no execution work committed at or beyond the current *clock*."""
+        if j in self.offline:
+            return False
+        return not self.exec_timeline[j].has_work_at_or_after(clock)
+
+    def set_offline(self, j: int, offline: bool = True) -> None:
+        """Mark machine *j* absent from (or returned to) the ad hoc grid.
+
+        Offline machines fail the availability test and every plan
+        targeting them; existing assignments are untouched — the churn
+        engine decides what to roll back.
+        """
+        if not 0 <= j < self.scenario.n_machines:
+            raise IndexError(f"no machine {j}")
+        if offline:
+            self.offline.add(j)
+        else:
+            self.offline.discard(j)
+
+    def available_energy(self, j: int) -> float:
+        """Battery remaining on *j* minus held communication reserves —
+        the budget new work may draw on."""
+        return self.energy.remaining(j) - self._reserved[j]
+
+    def reserved_energy(self, j: int) -> float:
+        """Communication energy currently held in reserve on machine *j*."""
+        return self._reserved[j]
+
+    def _net_energy_demand(self, plan: "ExecutionPlan") -> dict[int, float]:
+        """Per-machine net energy demand of committing *plan*: execution and
+        transfer debits, plus new outgoing reserves, minus incoming-edge
+        reserves released (when reserves are held)."""
+        scenario = self.scenario
+        net: dict[int, float] = {plan.machine: plan.exec_energy}
+        for c in plan.comms:
+            net[c.src] = net.get(c.src, 0.0) + c.energy
+        if self.hold_comm_reserves:
+            for p in scenario.dag.parents[plan.task]:
+                src = self.assignments[p].machine
+                net[src] = net.get(src, 0.0) - self._edge_reserve.get((p, plan.task), 0.0)
+            outgoing = sum(
+                scenario.network.worst_case_transfer_energy(
+                    plan.machine, scenario.data_bits(plan.task, child, plan.version)
+                )
+                for child in scenario.dag.children[plan.task]
+            )
+            net[plan.machine] += outgoing
+        return net
+
+    def _energy_shortfall(self, plan: "ExecutionPlan") -> str:
+        """Empty string if *plan*'s energy demand fits every machine's
+        available budget, else a human-readable reason."""
+        for j, amount in self._net_energy_demand(plan).items():
+            if amount > self.available_energy(j) * (1 + 1e-12) + 1e-12:
+                return (
+                    f"machine {j} needs {amount:.6g} energy units, "
+                    f"{self.available_energy(j):.6g} available "
+                    f"({self._reserved[j]:.6g} held in comm reserve)"
+                )
+        return ""
+
+    # -- planning -------------------------------------------------------------
+
+    def _plan_comms(
+        self, task: int, machine: int, not_before: float
+    ) -> tuple[tuple[PlannedComm, ...], float]:
+        """Schedule *task*'s incoming transfers onto *machine* (tentative).
+
+        Returns (comms, data_ready).  Incoming transfer sizes depend on the
+        *parents'* committed versions only, so one comm plan serves both
+        candidate versions of the task (see :meth:`plan_versions`).
+        """
+        scenario = self.scenario
+        overlay = _ChannelOverlay(self)
+        comms: list[PlannedComm] = []
+        # Execution may not begin before the subtask has *arrived* (release
+        # time); under the paper's simplification releases are all zero.
+        data_ready = max(not_before, scenario.release(task))
+        # Deterministic parent order: by completion time, then id.
+        parents = sorted(
+            scenario.dag.parents[task],
+            key=lambda p: (self.assignments[p].finish, p),
+        )
+        for p in parents:
+            pa = self.assignments[p]
+            bits = scenario.data_bits(p, task, pa.version)
+            if pa.machine == machine or bits <= 0.0:
+                data_ready = max(data_ready, pa.finish)
+                continue
+            duration = scenario.network.transfer_time(pa.machine, machine, bits)
+            start = earliest_common_gap(
+                overlay.out(pa.machine),
+                overlay.incoming(machine),
+                duration,
+                not_before=max(pa.finish, not_before),
+            )
+            finish = start + duration
+            energy = scenario.grid[pa.machine].transmit_energy(duration)
+            overlay.out(pa.machine).reserve(start, finish)
+            overlay.incoming(machine).reserve(start, finish)
+            comms.append(
+                PlannedComm(
+                    parent=p,
+                    child=task,
+                    src=pa.machine,
+                    dst=machine,
+                    bits=bits,
+                    start=start,
+                    finish=finish,
+                    energy=energy,
+                )
+            )
+            data_ready = max(data_ready, finish)
+        return tuple(comms), data_ready
+
+    def plan(
+        self,
+        task: int,
+        version: Version,
+        machine: int,
+        not_before: float = 0.0,
+        insertion: bool = False,
+    ) -> ExecutionPlan:
+        """Tentatively place (*task*, *version*) on *machine*.
+
+        Parameters
+        ----------
+        not_before:
+            The current clock; nothing (execution or communication) may be
+            scheduled earlier (§IV: the scheduler never looks backward).
+        insertion:
+            Allow execution to start inside a hole of the machine calendar
+            (Max-Max, §V).  SLRH uses ``False``: execution appends after the
+            machine's committed work.
+
+        The returned plan may be marked ``feasible=False`` (with a reason)
+        when some machine's battery cannot cover the required debits; such a
+        plan must not be committed.
+
+        Raises
+        ------
+        ValueError
+            If *task* is already mapped or has unmapped parents (callers
+            draw from :meth:`ready_tasks`, so this indicates a logic error).
+        """
+        scenario = self.scenario
+        if task in self.assignments:
+            raise ValueError(f"task {task} is already mapped")
+        if self._unmapped_parents[task] != 0:
+            raise ValueError(f"task {task} has unmapped parents")
+        if not 0 <= machine < scenario.n_machines:
+            raise IndexError(f"no machine {machine}")
+
+        comms, data_ready = self._plan_comms(task, machine, not_before)
+        duration = scenario.exec_time(task, machine, version)
+        start = self.exec_timeline[machine].earliest_gap(
+            duration, max(data_ready, not_before), append_only=not insertion
+        )
+        finish = start + duration
+        exec_energy = scenario.compute_energy(task, machine, version)
+
+        draft = ExecutionPlan(
+            task=task,
+            version=version,
+            machine=machine,
+            start=start,
+            finish=finish,
+            exec_energy=exec_energy,
+            comms=tuple(comms),
+            energy_delta=exec_energy + sum(c.energy for c in comms),
+            data_ready=data_ready,
+        )
+        if machine in self.offline or any(c.src in self.offline for c in comms):
+            reason = f"machine {machine} (or a required sender) is offline"
+        else:
+            reason = self._energy_shortfall(draft)
+        feasible = not reason
+
+        return ExecutionPlan(  # same draft, now with the verdict attached
+            task=task,
+            version=version,
+            machine=machine,
+            start=start,
+            finish=finish,
+            exec_energy=exec_energy,
+            comms=tuple(comms),
+            energy_delta=exec_energy + sum(c.energy for c in comms),
+            data_ready=data_ready,
+            feasible=feasible,
+            reason=reason,
+        )
+
+    def plan_versions(
+        self,
+        task: int,
+        machine: int,
+        not_before: float = 0.0,
+        insertion: bool = False,
+    ) -> tuple[ExecutionPlan, ExecutionPlan]:
+        """Plan both versions of *task* on *machine*, sharing one comm plan.
+
+        Incoming transfers depend only on the parents' committed versions,
+        so the (relatively expensive) channel-slot search is identical for
+        both candidate versions — this is the hot path of the SLRH pool
+        evaluation, which prices every pool member at both versions each
+        tick.  Returns (primary_plan, secondary_plan), semantically equal
+        to two :meth:`plan` calls.
+        """
+        scenario = self.scenario
+        if task in self.assignments:
+            raise ValueError(f"task {task} is already mapped")
+        if self._unmapped_parents[task] != 0:
+            raise ValueError(f"task {task} has unmapped parents")
+        if not 0 <= machine < scenario.n_machines:
+            raise IndexError(f"no machine {machine}")
+
+        comms, data_ready = self._plan_comms(task, machine, not_before)
+        offline = machine in self.offline or any(c.src in self.offline for c in comms)
+        plans = []
+        for version in (Version.PRIMARY, Version.SECONDARY):
+            duration = scenario.exec_time(task, machine, version)
+            start = self.exec_timeline[machine].earliest_gap(
+                duration, max(data_ready, not_before), append_only=not insertion
+            )
+            exec_energy = scenario.compute_energy(task, machine, version)
+            draft = ExecutionPlan(
+                task=task,
+                version=version,
+                machine=machine,
+                start=start,
+                finish=start + duration,
+                exec_energy=exec_energy,
+                comms=comms,
+                energy_delta=exec_energy + sum(c.energy for c in comms),
+                data_ready=data_ready,
+            )
+            if offline:
+                reason = f"machine {machine} (or a required sender) is offline"
+            else:
+                reason = self._energy_shortfall(draft)
+            plans.append(
+                ExecutionPlan(
+                    task=draft.task,
+                    version=draft.version,
+                    machine=draft.machine,
+                    start=draft.start,
+                    finish=draft.finish,
+                    exec_energy=draft.exec_energy,
+                    comms=draft.comms,
+                    energy_delta=draft.energy_delta,
+                    data_ready=draft.data_ready,
+                    feasible=not reason,
+                    reason=reason,
+                )
+            )
+        return plans[0], plans[1]
+
+    # -- mutation ---------------------------------------------------------------
+
+    def commit(self, plan: ExecutionPlan) -> Assignment:
+        """Apply *plan* atomically; returns the resulting :class:`Assignment`.
+
+        Raises
+        ------
+        ValueError
+            If the plan is marked infeasible or the task state changed since
+            planning.
+        """
+        if not plan.feasible:
+            raise ValueError(f"cannot commit infeasible plan: {plan.reason}")
+        if plan.task in self.assignments:
+            raise ValueError(f"task {plan.task} is already mapped")
+        if self._unmapped_parents[plan.task] != 0:
+            raise ValueError(f"task {plan.task} has unmapped parents")
+        shortfall = self._energy_shortfall(plan)
+        if shortfall:
+            raise ValueError(f"plan no longer affordable: {shortfall}")
+
+        scenario = self.scenario
+        # Reserve calendars first (reservation errors leave energy intact).
+        self.exec_timeline[plan.machine].reserve(plan.start, plan.finish)
+        for c in plan.comms:
+            self.out_channel[c.src].reserve(c.start, c.finish)
+            self.in_channel[c.dst].reserve(c.start, c.finish)
+        if self.hold_comm_reserves:
+            # The task's inputs are now routed: release the reserves its
+            # parents were holding for these edges...
+            for p in scenario.dag.parents[plan.task]:
+                held = self._edge_reserve.pop((p, plan.task), 0.0)
+                self._reserved[self.assignments[p].machine] -= held
+            # ...and hold worst-case reserves for the task's own outputs.
+            for child in scenario.dag.children[plan.task]:
+                wc = scenario.network.worst_case_transfer_energy(
+                    plan.machine, scenario.data_bits(plan.task, child, plan.version)
+                )
+                self._edge_reserve[(plan.task, child)] = wc
+                self._reserved[plan.machine] += wc
+        self.energy.debit(plan.machine, plan.exec_energy)
+        for c in plan.comms:
+            self.energy.debit(c.src, c.energy)
+
+        assignment = Assignment(
+            task=plan.task,
+            version=plan.version,
+            machine=plan.machine,
+            start=plan.start,
+            finish=plan.finish,
+            energy=plan.exec_energy,
+            comms=plan.comms,
+        )
+        self.assignments[plan.task] = assignment
+        if plan.version.counts_toward_t100:
+            self._t100 += 1
+        self._makespan = max(self._makespan, plan.finish)
+        self._ready.discard(plan.task)
+        for child in self.scenario.dag.children[plan.task]:
+            self._unmapped_parents[child] -= 1
+            if self._unmapped_parents[child] == 0 and child not in self.assignments:
+                self._ready.add(child)
+        return assignment
+
+    def unassign(self, task: int) -> Assignment:
+        """Roll back a committed assignment (dynamic re-mapping support).
+
+        The task's children must all be unmapped — their incoming transfers
+        reference this assignment's machine and version.
+        """
+        if task not in self.assignments:
+            raise ValueError(f"task {task} is not mapped")
+        for child in self.scenario.dag.children[task]:
+            if child in self.assignments:
+                raise ValueError(
+                    f"cannot unassign task {task}: child {child} is still mapped"
+                )
+        a = self.assignments.pop(task)
+        self.exec_timeline[a.machine].release(a.start, a.finish)
+        self.energy.credit(a.machine, a.energy)
+        for c in a.comms:
+            self.out_channel[c.src].release(c.start, c.finish)
+            self.in_channel[c.dst].release(c.start, c.finish)
+            self.energy.credit(c.src, c.energy)
+        if self.hold_comm_reserves:
+            # Drop the reserves this task held for its (unmapped) children...
+            for child in self.scenario.dag.children[task]:
+                held = self._edge_reserve.pop((task, child), 0.0)
+                self._reserved[a.machine] -= held
+            # ...and re-hold its parents' reserves for the now-open edges.
+            for p in self.scenario.dag.parents[task]:
+                pa = self.assignments[p]
+                wc = self.scenario.network.worst_case_transfer_energy(
+                    pa.machine, self.scenario.data_bits(p, task, pa.version)
+                )
+                self._edge_reserve[(p, task)] = wc
+                self._reserved[pa.machine] += wc
+        if a.version.counts_toward_t100:
+            self._t100 -= 1
+        self._makespan = max(
+            (x.finish for x in self.assignments.values()), default=0.0
+        )
+        for child in self.scenario.dag.children[task]:
+            self._unmapped_parents[child] += 1
+            self._ready.discard(child)
+        if self._unmapped_parents[task] == 0:
+            self._ready.add(task)
+        return a
+
+    def debit_external(self, j: int, energy: float) -> None:
+        """Consume energy on machine *j* outside any assignment.
+
+        Used by the dynamic engine to account for work a machine had
+        already performed on assignments that a machine loss invalidated —
+        that energy is physically gone even though the assignment is no
+        longer part of the schedule.
+        """
+        self.energy.debit(j, energy)
+        self.external_debits[j] += energy
+
+    # -- reporting -----------------------------------------------------------
+
+    def machine_load(self, j: int) -> float:
+        """Total execution time committed on machine *j*."""
+        return self.exec_timeline[j].busy_time()
+
+    def summary(self) -> dict:
+        """Compact result record used by the experiment drivers."""
+        return {
+            "scenario": self.scenario.name,
+            "mapped": self.n_mapped,
+            "n_tasks": self.scenario.n_tasks,
+            "t100": self._t100,
+            "aet": self._makespan,
+            "tau": self.scenario.tau,
+            "tec": self.total_energy_consumed,
+            "tse": self.total_system_energy,
+            "complete": self.is_complete,
+            "within_tau": self._makespan <= self.scenario.tau + 1e-9,
+        }

@@ -1,0 +1,85 @@
+"""Historical record of critical parameters (§IV).
+
+The paper's SLRH "stored a historical record of all critical parameters for
+later analysis" after every mapping.  :class:`MappingTrace` captures that
+record: one :class:`TraceRecord` per committed assignment plus per-tick
+pool statistics, enough to reconstruct Figure 2-style ΔT analyses and to
+debug heuristic behaviour without re-running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.schedule import ExecutionPlan
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """State captured at the moment one assignment was committed."""
+
+    clock: float
+    task: int
+    version: str
+    machine: int
+    start: float
+    finish: float
+    objective: float
+    pool_size: int
+    t100: int
+    tec: float
+    aet: float
+
+
+@dataclass
+class MappingTrace:
+    """Append-only log of heuristic activity."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+    ticks: int = 0
+    empty_pool_ticks: int = 0
+    machine_scans: int = 0
+
+    def note_tick(self) -> None:
+        self.ticks += 1
+
+    def note_machine_scan(self) -> None:
+        self.machine_scans += 1
+
+    def note_empty_pool(self) -> None:
+        self.empty_pool_ticks += 1
+
+    def record_commit(
+        self,
+        clock: float,
+        plan: ExecutionPlan,
+        objective: float,
+        pool_size: int,
+        t100: int,
+        tec: float,
+        aet: float,
+    ) -> None:
+        self.records.append(
+            TraceRecord(
+                clock=clock,
+                task=plan.task,
+                version=plan.version.value,
+                machine=plan.machine,
+                start=plan.start,
+                finish=plan.finish,
+                objective=objective,
+                pool_size=pool_size,
+                t100=t100,
+                tec=tec,
+                aet=aet,
+            )
+        )
+
+    @property
+    def n_commits(self) -> int:
+        return len(self.records)
+
+    def commits_per_tick(self) -> float:
+        """Mean assignments per heuristic invocation — the quantity that
+        collapses when ΔT is too small (Figure 2's runtime blow-up)."""
+        return len(self.records) / self.ticks if self.ticks else 0.0

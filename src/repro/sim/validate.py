@@ -1,0 +1,179 @@
+"""Independent schedule validation.
+
+Every simulation assumption of §III is re-checked here against a finished
+:class:`~repro.sim.schedule.Schedule`, *without* trusting the incremental
+bookkeeping the schedulers maintain.  Tests and experiment drivers call
+:func:`validate_schedule` on every produced mapping, so a bug in the fast
+path cannot silently ship an invalid result:
+
+1. every mapped subtask's parents are mapped (precedence closure);
+2. a subtask starts only after all parents finish and all its incoming
+   transfers complete (precedence + data availability);
+3. a transfer starts only after its sending parent finishes;
+4. each machine executes at most one subtask at a time;
+5. each machine drives at most one outgoing and one incoming transfer at a
+   time; co-located transfers are free and take zero time (they are never
+   recorded);
+6. recomputed energy (execution + sender-side transmission) matches the
+   ledger and respects every battery;
+7. if the schedule claims completeness, every subtask is mapped; AET and
+   T100 match recomputation.
+"""
+
+from __future__ import annotations
+
+from repro.sim.schedule import Schedule
+
+_EPS = 1e-6
+
+
+class ValidationError(AssertionError):
+    """A schedule violated one of the §III simulation assumptions."""
+
+
+def _check_unit_capacity(intervals: list[tuple[float, float]], label: str) -> None:
+    intervals = sorted(intervals)
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        if s2 < e1 - _EPS:
+            raise ValidationError(
+                f"{label}: intervals [{s1}, {e1}) and [{s2}, {e2}) overlap"
+            )
+
+
+def validate_schedule(schedule: Schedule, require_complete: bool = False) -> None:
+    """Raise :class:`ValidationError` on any assumption violation."""
+    scenario = schedule.scenario
+    assignments = schedule.assignments
+
+    if require_complete and len(assignments) != scenario.n_tasks:
+        raise ValidationError(
+            f"schedule maps {len(assignments)}/{scenario.n_tasks} subtasks"
+        )
+
+    exec_by_machine: dict[int, list[tuple[float, float]]] = {}
+    out_by_machine: dict[int, list[tuple[float, float]]] = {}
+    in_by_machine: dict[int, list[tuple[float, float]]] = {}
+    energy_by_machine = [0.0] * scenario.n_machines
+    t100 = 0
+    aet = 0.0
+
+    for task, a in assignments.items():
+        if a.task != task:
+            raise ValidationError(f"assignment keyed {task} records task {a.task}")
+        if a.finish < a.start - _EPS:
+            raise ValidationError(f"task {task}: finish {a.finish} before start {a.start}")
+        expected_dur = scenario.exec_time(task, a.machine, a.version)
+        if abs(a.duration - expected_dur) > _EPS * max(1.0, expected_dur):
+            raise ValidationError(
+                f"task {task}: duration {a.duration} != ETC-derived {expected_dur}"
+            )
+        if a.start < scenario.release(task) - _EPS:
+            raise ValidationError(
+                f"task {task} starts at {a.start} before its release "
+                f"time {scenario.release(task)}"
+            )
+
+        comms_by_parent = {c.parent: c for c in a.comms}
+        for p in scenario.dag.parents[task]:
+            if p not in assignments:
+                raise ValidationError(f"task {task} mapped before parent {p}")
+            pa = assignments[p]
+            if pa.finish > a.start + _EPS:
+                raise ValidationError(
+                    f"task {task} starts at {a.start} before parent {p} "
+                    f"finishes at {pa.finish}"
+                )
+            bits = scenario.data_bits(p, task, pa.version)
+            if pa.machine != a.machine and bits > 0:
+                c = comms_by_parent.get(p)
+                if c is None:
+                    raise ValidationError(
+                        f"task {task}: missing transfer from remote parent {p}"
+                    )
+                if abs(c.bits - bits) > _EPS * max(1.0, bits):
+                    raise ValidationError(
+                        f"transfer {p}->{task}: {c.bits} bits recorded, "
+                        f"{bits} expected for version {pa.version}"
+                    )
+                if c.src != pa.machine or c.dst != a.machine:
+                    raise ValidationError(
+                        f"transfer {p}->{task} routed {c.src}->{c.dst}, "
+                        f"expected {pa.machine}->{a.machine}"
+                    )
+                if c.start < pa.finish - _EPS:
+                    raise ValidationError(
+                        f"transfer {p}->{task} starts at {c.start} before "
+                        f"parent finishes at {pa.finish}"
+                    )
+                if c.finish > a.start + _EPS:
+                    raise ValidationError(
+                        f"task {task} starts at {a.start} before its input "
+                        f"from {p} arrives at {c.finish}"
+                    )
+                expected_comm = scenario.network.transfer_time(c.src, c.dst, bits)
+                if abs(c.duration - expected_comm) > _EPS * max(1.0, expected_comm):
+                    raise ValidationError(
+                        f"transfer {p}->{task}: duration {c.duration} != "
+                        f"bandwidth-derived {expected_comm}"
+                    )
+            else:
+                if p in comms_by_parent:
+                    raise ValidationError(
+                        f"co-located transfer {p}->{task} should not be recorded"
+                    )
+
+        for c in a.comms:
+            if c.child != task:
+                raise ValidationError(f"task {task} holds a transfer for {c.child}")
+            if c.parent not in scenario.dag.parents[task]:
+                raise ValidationError(
+                    f"transfer {c.parent}->{task} has no matching DAG edge"
+                )
+            out_by_machine.setdefault(c.src, []).append((c.start, c.finish))
+            in_by_machine.setdefault(c.dst, []).append((c.start, c.finish))
+            expected_energy = scenario.grid[c.src].transmit_energy(c.duration)
+            if abs(c.energy - expected_energy) > _EPS * max(1.0, expected_energy):
+                raise ValidationError(
+                    f"transfer {c.parent}->{task}: energy {c.energy} != "
+                    f"rate-derived {expected_energy}"
+                )
+            energy_by_machine[c.src] += c.energy
+
+        exec_by_machine.setdefault(a.machine, []).append((a.start, a.finish))
+        expected_energy = scenario.compute_energy(task, a.machine, a.version)
+        if abs(a.energy - expected_energy) > _EPS * max(1.0, expected_energy):
+            raise ValidationError(
+                f"task {task}: energy {a.energy} != rate-derived {expected_energy}"
+            )
+        energy_by_machine[a.machine] += a.energy
+        if a.version.counts_toward_t100:
+            t100 += 1
+        aet = max(aet, a.finish)
+
+    for j, ivs in exec_by_machine.items():
+        _check_unit_capacity(ivs, f"machine {j} execution")
+    for j, ivs in out_by_machine.items():
+        _check_unit_capacity(ivs, f"machine {j} outgoing channel")
+    for j, ivs in in_by_machine.items():
+        _check_unit_capacity(ivs, f"machine {j} incoming channel")
+
+    for j in range(scenario.n_machines):
+        expected = energy_by_machine[j] + schedule.external_debits[j]
+        if expected > scenario.grid[j].battery * (1 + 1e-9) + _EPS:
+            raise ValidationError(
+                f"machine {j} consumes {expected:.6g} of a "
+                f"{scenario.grid[j].battery:.6g}-unit battery"
+            )
+        ledger = schedule.energy.consumed(j)
+        if abs(ledger - expected) > _EPS * max(1.0, ledger):
+            raise ValidationError(
+                f"machine {j}: ledger says {ledger:.6g}, recomputation "
+                f"{expected:.6g}"
+            )
+
+    if t100 != schedule.t100:
+        raise ValidationError(f"T100 bookkeeping {schedule.t100} != recount {t100}")
+    if abs(aet - schedule.makespan) > _EPS * max(1.0, aet):
+        raise ValidationError(
+            f"AET bookkeeping {schedule.makespan} != recomputed {aet}"
+        )

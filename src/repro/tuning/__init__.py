@@ -1,0 +1,34 @@
+"""Offline parameter optimisation (§VII).
+
+* :mod:`~repro.tuning.weight_search` — the paper's two-stage (α, β) grid
+  search: 0.1-step coarse sweep over the weight simplex, then a 0.02-step
+  refinement around the best accepted point.  A point is *accepted* only if
+  the heuristic maps all subtasks within both the energy and time
+  constraints.
+* :mod:`~repro.tuning.sweeps` — the ΔT and H sensitivity sweeps behind
+  Figure 2 and the (unplotted) horizon analysis.
+"""
+
+from repro.tuning.sweeps import (
+    DeltaTSweepPoint,
+    choose_delta_t,
+    sweep_delta_t,
+    sweep_horizon,
+    sweep_tau_slack,
+)
+from repro.tuning.weight_search import (
+    WeightSearchResult,
+    search_weights,
+    simplex_grid,
+)
+
+__all__ = [
+    "search_weights",
+    "WeightSearchResult",
+    "simplex_grid",
+    "sweep_delta_t",
+    "sweep_horizon",
+    "sweep_tau_slack",
+    "choose_delta_t",
+    "DeltaTSweepPoint",
+]

@@ -1,0 +1,162 @@
+"""ΔT and H sensitivity sweeps (§VII, Figure 2).
+
+The paper fixed ΔT = 10 cycles and H = 100 cycles after sweeping both:
+
+* **ΔT** — large values leave "potentially large gaps of unused
+  computational cycles" (T100 drops); small values multiply heuristic
+  invocations that map nothing (execution time blows up).  Figure 2 plots
+  both T100 and heuristic runtime against ΔT for SLRH-1.
+* **H** — "the impact of H on both T100 and execution time was found to be
+  negligible" for this study.
+
+Each sweep point re-runs the heuristic from scratch at fixed weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.objective import Weights
+from repro.core.slrh import SlrhConfig, SlrhScheduler
+from repro.workload.scenario import Scenario
+
+#: ΔT values (cycles) swept by default — log-ish ladder around the paper's 10.
+DEFAULT_DELTA_T_VALUES: tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+#: H values (cycles) swept by default, around the paper's 100.
+DEFAULT_HORIZON_VALUES: tuple[int, ...] = (10, 25, 50, 100, 200, 500, 1000)
+
+
+@dataclass(frozen=True)
+class DeltaTSweepPoint:
+    """One sweep sample: parameter value vs outcome."""
+
+    value: int  # ΔT or H, in cycles
+    t100: int
+    mapped: int
+    aet: float
+    heuristic_seconds: float
+    success: bool
+    ticks: int
+
+
+def _run_point(
+    scheduler_cls: type[SlrhScheduler],
+    scenario: Scenario,
+    weights: Weights,
+    delta_t: int,
+    horizon: int,
+) -> DeltaTSweepPoint:
+    config = SlrhConfig(weights=weights, delta_t_cycles=delta_t, horizon_cycles=horizon)
+    result = scheduler_cls(config).map(scenario)
+    return DeltaTSweepPoint(
+        value=delta_t,
+        t100=result.t100,
+        mapped=result.schedule.n_mapped,
+        aet=result.aet,
+        heuristic_seconds=result.heuristic_seconds,
+        success=result.success,
+        ticks=result.trace.ticks,
+    )
+
+
+def sweep_delta_t(
+    scheduler_cls: type[SlrhScheduler],
+    scenario: Scenario,
+    weights: Weights,
+    values: Sequence[int] = DEFAULT_DELTA_T_VALUES,
+    horizon: int = 100,
+) -> list[DeltaTSweepPoint]:
+    """Figure 2's x-axis sweep: vary ΔT at fixed H."""
+    return [
+        _run_point(scheduler_cls, scenario, weights, delta_t=v, horizon=horizon)
+        for v in values
+    ]
+
+
+def sweep_tau_slack(
+    scheduler_cls: type[SlrhScheduler],
+    scenario: Scenario,
+    weights: Weights,
+    slacks: Sequence[float] = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0),
+    delta_t: int = 10,
+    horizon: int = 100,
+) -> list[DeltaTSweepPoint]:
+    """How tight can τ get before the heuristic stops completing?
+
+    An extension sweep (the paper fixes τ): each point re-runs the
+    heuristic with the scenario's τ multiplied by a slack factor.  The
+    returned points carry the slack ×100 as their integer ``value`` (so a
+    slack of 1.25 reports as 125).
+    """
+    points = []
+    for slack in slacks:
+        if slack <= 0:
+            raise ValueError(f"slack must be positive, got {slack}")
+        scaled = scenario.with_tau(scenario.tau * slack)
+        p = _run_point(scheduler_cls, scaled, weights, delta_t=delta_t, horizon=horizon)
+        points.append(
+            DeltaTSweepPoint(
+                value=int(round(slack * 100)),
+                t100=p.t100,
+                mapped=p.mapped,
+                aet=p.aet,
+                heuristic_seconds=p.heuristic_seconds,
+                success=p.success,
+                ticks=p.ticks,
+            )
+        )
+    return points
+
+
+def choose_delta_t(
+    scheduler_cls: type[SlrhScheduler],
+    scenario: Scenario,
+    weights: Weights,
+    values: Sequence[int] = DEFAULT_DELTA_T_VALUES,
+    t100_tolerance: float = 0.05,
+    horizon: int = 100,
+) -> tuple[int, list[DeltaTSweepPoint]]:
+    """Automate the paper's ΔT selection (§VII does it by inspection).
+
+    Sweeps ΔT, keeps points whose T100 is within *t100_tolerance* (as a
+    fraction of the best observed T100) among *successful* runs, and
+    returns the one with the lowest heuristic execution time — the exact
+    trade the paper describes: small ΔT wastes heuristic invocations,
+    large ΔT wastes machine cycles.  Falls back to the point with the
+    highest T100 when no run succeeds.  Returns ``(delta_t, sweep_points)``.
+    """
+    points = sweep_delta_t(scheduler_cls, scenario, weights, values=values, horizon=horizon)
+    successes = [p for p in points if p.success]
+    candidates = successes or points
+    best_t100 = max(p.t100 for p in candidates)
+    acceptable = [p for p in candidates if p.t100 >= best_t100 * (1 - t100_tolerance)]
+    chosen = min(acceptable, key=lambda p: (p.heuristic_seconds, p.value))
+    return chosen.value, points
+
+
+def sweep_horizon(
+    scheduler_cls: type[SlrhScheduler],
+    scenario: Scenario,
+    weights: Weights,
+    values: Sequence[int] = DEFAULT_HORIZON_VALUES,
+    delta_t: int = 10,
+) -> list[DeltaTSweepPoint]:
+    """The companion H sweep (paper: negligible impact)."""
+    points = []
+    for v in values:
+        p = _run_point(scheduler_cls, scenario, weights, delta_t=delta_t, horizon=v)
+        # Re-label the swept value: _run_point stores ΔT by default.
+        points.append(
+            DeltaTSweepPoint(
+                value=v,
+                t100=p.t100,
+                mapped=p.mapped,
+                aet=p.aet,
+                heuristic_seconds=p.heuristic_seconds,
+                success=p.success,
+                ticks=p.ticks,
+            )
+        )
+    return points

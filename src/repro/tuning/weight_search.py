@@ -1,0 +1,160 @@
+"""The paper's two-stage (α, β) optimisation (§VII).
+
+"The sensitivity of the heuristics to the objective function weights was
+investigated by first independently varying the α and β values across their
+[0,1] range in steps of 0.1 until a general range was found that produced
+the best T100 performance, subject to the energy and time constraints.  In
+addition, the heuristic was required to successfully map all 1024 subtasks
+within both the specified energy and time constraints for that (α, β)
+combination to be included in the study.  The values were then varied by
+0.02 across this smaller range until an optimal performance point was
+determined."
+
+We reproduce this literally:
+
+1. **coarse stage** — evaluate every (α, β) on the simplex grid with step
+   0.1 (γ = 1 − α − β ≥ 0); keep only *accepted* runs (complete mapping,
+   AET ≤ τ; energy holds by construction);
+2. **fine stage** — re-grid ±(coarse step) around the best accepted point
+   with step 0.02 and evaluate the new points.
+
+The best point maximises T100; ties break toward lower AET, then lower
+(α, β) lexicographically for determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.objective import Weights
+from repro.core.slrh import MappingResult
+from repro.workload.scenario import Scenario
+
+
+class _Mapper(Protocol):  # pragma: no cover - typing helper
+    def map(self, scenario: Scenario) -> MappingResult: ...
+
+
+#: A factory turning a weight point into a runnable heuristic, e.g.
+#: ``lambda w: SLRH1(SlrhConfig(weights=w))``.
+SchedulerFactory = Callable[[Weights], _Mapper]
+
+
+def simplex_grid(step: float = 0.1) -> list[tuple[float, float]]:
+    """All (α, β) with α, β ∈ {0, step, 2·step, …, 1} and α + β ≤ 1."""
+    if not 0 < step <= 1:
+        raise ValueError(f"step must be in (0, 1], got {step}")
+    n = round(1.0 / step)
+    points = []
+    for i in range(n + 1):
+        for k in range(n - i + 1):
+            points.append((round(i * step, 10), round(k * step, 10)))
+    return points
+
+
+def _refinement_grid(
+    centre: tuple[float, float], span: float, step: float
+) -> list[tuple[float, float]]:
+    """(α, β) grid of the given *step* within ±*span* of *centre*, clipped
+    to the simplex."""
+    a0, b0 = centre
+    n = round(span / step)
+    points = []
+    for i in range(-n, n + 1):
+        for k in range(-n, n + 1):
+            a = round(a0 + i * step, 10)
+            b = round(b0 + k * step, 10)
+            if 0.0 <= a <= 1.0 and 0.0 <= b <= 1.0 and a + b <= 1.0 + 1e-9:
+                points.append((a, min(b, round(1.0 - a, 10))))
+    return sorted(set(points))
+
+
+@dataclass
+class WeightSearchResult:
+    """Outcome of the two-stage search for one (heuristic, scenario) pair."""
+
+    best_weights: Weights | None
+    best_result: MappingResult | None
+    #: Every accepted (α, β) with its T100, both stages.
+    accepted: list[tuple[float, float, int]] = field(default_factory=list)
+    evaluations: int = 0
+    coarse_evaluations: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether any weight point produced an accepted mapping."""
+        return self.best_weights is not None
+
+    @property
+    def best_t100(self) -> int:
+        if self.best_result is None:
+            raise ValueError("search found no accepted mapping")
+        return self.best_result.t100
+
+    def accepted_near_best(self, tolerance: int = 0) -> list[tuple[float, float]]:
+        """Accepted (α, β) whose T100 is within *tolerance* of the best —
+        the paper's 'general range ... that produced the best performance'."""
+        if self.best_result is None:
+            return []
+        cut = self.best_t100 - tolerance
+        return [(a, b) for (a, b, t) in self.accepted if t >= cut]
+
+
+def _key(result: MappingResult, alpha: float, beta: float):
+    """Ordering key: higher T100, then lower AET, then lower (α, β)."""
+    return (-result.t100, result.aet, alpha, beta)
+
+
+def search_weights(
+    scenario: Scenario,
+    factory: SchedulerFactory,
+    coarse_step: float = 0.1,
+    fine_step: float = 0.02,
+    fine: bool = True,
+) -> WeightSearchResult:
+    """Run the §VII two-stage (α, β) optimisation.
+
+    Parameters
+    ----------
+    factory:
+        Builds the heuristic for a weight point (any object with
+        ``.map(scenario)`` returning a :class:`MappingResult`).
+    coarse_step / fine_step:
+        Grid steps of the two stages (paper: 0.1 and 0.02).
+    fine:
+        Skip the refinement stage when ``False`` (cheaper sweeps for the
+        reduced-scale benchmarks).
+    """
+    out = WeightSearchResult(best_weights=None, best_result=None)
+    best_key = None
+    best_point: tuple[float, float] | None = None
+    evaluated: set[tuple[float, float]] = set()
+
+    def evaluate(alpha: float, beta: float) -> None:
+        nonlocal best_key, best_point
+        if (alpha, beta) in evaluated:
+            return
+        evaluated.add((alpha, beta))
+        weights = Weights.from_alpha_beta(alpha, beta)
+        result = factory(weights).map(scenario)
+        out.evaluations += 1
+        if not result.success:
+            return
+        out.accepted.append((alpha, beta, result.t100))
+        key = _key(result, alpha, beta)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_point = (alpha, beta)
+            out.best_weights = weights
+            out.best_result = result
+
+    for alpha, beta in simplex_grid(coarse_step):
+        evaluate(alpha, beta)
+    out.coarse_evaluations = out.evaluations
+
+    if fine and best_point is not None:
+        for alpha, beta in _refinement_grid(best_point, span=coarse_step, step=fine_step):
+            evaluate(alpha, beta)
+
+    return out

@@ -1,0 +1,33 @@
+"""Shared utilities: seeding discipline, unit conversions, timing helpers.
+
+Everything in :mod:`repro` that draws random numbers takes an explicit seed
+(or a :class:`numpy.random.Generator`); the helpers here centralise how child
+streams are derived so that experiments are reproducible bit-for-bit across
+runs and machines.
+"""
+
+from repro.util.seeding import (
+    SeedLike,
+    as_generator,
+    spawn_generators,
+    spawn_seeds,
+)
+from repro.util.timing import Stopwatch
+from repro.util.units import (
+    CYCLE_SECONDS,
+    MEGABIT,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "Stopwatch",
+    "CYCLE_SECONDS",
+    "MEGABIT",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+]

@@ -1,0 +1,64 @@
+"""Deterministic random-stream derivation.
+
+The paper's experiments combine 10 ETC matrices with 10 DAGs in three grid
+configurations; all 100 scenarios must be reproducible.  We follow the
+``numpy.random.SeedSequence`` discipline: a single root seed is spawned into
+independent child streams, one per generated artefact, so adding a new
+artefact never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+#: Anything acceptable as a seed: ``None`` (non-reproducible), an int, a
+#: :class:`numpy.random.SeedSequence`, or an existing ``Generator``.
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    An existing ``Generator`` is passed through untouched, so callers can
+    thread a single stream through multiple helpers when they want coupled
+    draws.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Derive *n* independent child seed sequences from *seed*.
+
+    Raises
+    ------
+    TypeError
+        If *seed* is a ``Generator`` — generators cannot be spawned without
+        consuming entropy from the parent stream, which would make sibling
+        artefacts order-dependent.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "cannot spawn child seeds from a Generator; pass an int or "
+            "SeedSequence so children are order-independent"
+        )
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seeds")
+    if isinstance(seed, np.random.SeedSequence):
+        return seed.spawn(n)
+    return np.random.SeedSequence(seed).spawn(n)
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive *n* independent generators from *seed* (see :func:`spawn_seeds`)."""
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, n)]
+
+
+def stable_choice(rng: np.random.Generator, options: Sequence) -> object:
+    """Pick one element of *options* uniformly; errors on empty input."""
+    if len(options) == 0:
+        raise ValueError("cannot choose from an empty sequence")
+    return options[int(rng.integers(len(options)))]

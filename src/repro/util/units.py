@@ -1,0 +1,30 @@
+"""Unit conventions used throughout the reproduction.
+
+The paper mixes three unit systems:
+
+* **time** — wall-clock seconds in the simulation model, but the SLRH loop is
+  *clock-driven* with a cycle of 0.1 s (§IV); ΔT and H are quoted in cycles.
+* **data** — megabits per second for bandwidth, so data item sizes are bits.
+* **energy** — abstract "energy units" (Table 2).
+
+Internally every quantity is stored in base units (seconds, bits, energy
+units); these helpers convert at the API boundary.
+"""
+
+from __future__ import annotations
+
+#: Duration of one simulation clock cycle, in seconds (§IV).
+CYCLE_SECONDS: float = 0.1
+
+#: One megabit, in bits.
+MEGABIT: float = 1e6
+
+
+def cycles_to_seconds(cycles: float) -> float:
+    """Convert a duration in clock cycles to seconds."""
+    return cycles * CYCLE_SECONDS
+
+
+def seconds_to_cycles(seconds: float) -> float:
+    """Convert a duration in seconds to (fractional) clock cycles."""
+    return seconds / CYCLE_SECONDS

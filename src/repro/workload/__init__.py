@@ -1,0 +1,70 @@
+"""Workload substrate: ETC matrices, task DAGs, data items, subtask versions.
+
+The paper's application is a single task of |T| = 1024 communicating
+subtasks whose dependencies form a DAG.  Estimated times to compute come
+from the Gamma-distribution (CVB) method of [AlS00]; DAG shapes and global
+data item sizes follow [ShC04].  Every subtask has a *primary* version and a
+*secondary* version that uses 10 % of the primary's time, energy and output
+data (§III).
+"""
+
+from repro.workload.arrivals import generate_release_times
+from repro.workload.dag import DagSpec, TaskGraph, generate_dag
+from repro.workload.data import DataSpec, generate_data_sizes
+from repro.workload.etc import (
+    Consistency,
+    EtcSpec,
+    RangeEtcSpec,
+    generate_etc,
+    generate_etc_range_based,
+    shape_consistency,
+)
+from repro.workload.topologies import TOPOLOGIES
+from repro.workload.scenario import (
+    PAPER_N_TASKS,
+    PAPER_TAU,
+    Scenario,
+    ScenarioSpec,
+    ScenarioSuite,
+    generate_scenario,
+    generate_scenario_suite,
+    paper_scaled_grid,
+    paper_scaled_spec,
+    paper_scaled_suite,
+)
+from repro.workload.versions import (
+    PRIMARY,
+    SECONDARY,
+    SECONDARY_FRACTION,
+    Version,
+)
+
+__all__ = [
+    "Version",
+    "PRIMARY",
+    "SECONDARY",
+    "SECONDARY_FRACTION",
+    "EtcSpec",
+    "generate_etc",
+    "RangeEtcSpec",
+    "generate_etc_range_based",
+    "Consistency",
+    "shape_consistency",
+    "TOPOLOGIES",
+    "generate_release_times",
+    "DagSpec",
+    "TaskGraph",
+    "generate_dag",
+    "DataSpec",
+    "generate_data_sizes",
+    "Scenario",
+    "ScenarioSpec",
+    "ScenarioSuite",
+    "generate_scenario",
+    "generate_scenario_suite",
+    "paper_scaled_spec",
+    "paper_scaled_grid",
+    "paper_scaled_suite",
+    "PAPER_TAU",
+    "PAPER_N_TASKS",
+]

@@ -1,0 +1,206 @@
+"""Task dependency DAG generation (§III, [ShC04]).
+
+The application is a single task of |T| communicating subtasks whose
+precedence constraints form a directed acyclic graph.  [ShC04] — the
+companion static-mapping study whose generator produced the paper's ten
+DAGs — builds *layered* random DAGs: subtasks are partitioned into levels,
+and each subtask draws its predecessors from nearby earlier levels with
+bounded fan-in/fan-out.  We implement that construction, parameterised by
+:class:`DagSpec`.
+
+:class:`TaskGraph` is the immutable adjacency structure consumed by every
+scheduler; it precomputes parent/children lists and a topological order so
+the inner mapping loops never touch networkx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.util.seeding import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class DagSpec:
+    """Parameters of the layered random DAG generator.
+
+    Attributes
+    ----------
+    n_tasks:
+        |T|, number of subtasks (paper: 1024).
+    mean_width:
+        Mean number of subtasks per level.  Widths are drawn uniformly in
+        ``[1, 2·mean_width - 1]`` so their expectation is *mean_width*.
+    max_in_degree:
+        Maximum number of parents per subtask.
+    max_out_degree:
+        Soft cap on children per subtask; parents at the cap are excluded
+        from further selection while any under-cap candidate remains.
+    back_level_prob:
+        Probability that a parent is drawn from a level *before* the
+        immediately preceding one (long edges).
+    """
+
+    n_tasks: int = 1024
+    mean_width: int = 8
+    max_in_degree: int = 4
+    max_out_degree: int = 6
+    back_level_prob: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ValueError("n_tasks must be >= 1")
+        if self.mean_width < 1:
+            raise ValueError("mean_width must be >= 1")
+        if self.max_in_degree < 1 or self.max_out_degree < 1:
+            raise ValueError("degree bounds must be >= 1")
+        if not 0.0 <= self.back_level_prob <= 1.0:
+            raise ValueError("back_level_prob must be in [0, 1]")
+
+
+class TaskGraph:
+    """Immutable precedence DAG over subtasks ``0 .. n_tasks-1``.
+
+    Subtask ids may appear in any order in *edges*; a topological order is
+    computed (and cycles rejected) at construction.  Duplicate edges are
+    collapsed; self-loops are an error.
+    """
+
+    def __init__(self, n_tasks: int, edges: list[tuple[int, int]]) -> None:
+        if n_tasks < 1:
+            raise ValueError("n_tasks must be >= 1")
+        parents: list[list[int]] = [[] for _ in range(n_tasks)]
+        children: list[list[int]] = [[] for _ in range(n_tasks)]
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if not (0 <= u < n_tasks and 0 <= v < n_tasks):
+                raise ValueError(f"edge ({u}, {v}) out of range for {n_tasks} tasks")
+            if u == v:
+                raise ValueError(f"self-loop on task {u}")
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+            parents[v].append(u)
+            children[u].append(v)
+        self.n_tasks = n_tasks
+        self.parents: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(p)) for p in parents
+        )
+        self.children: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(c)) for c in children
+        )
+        self.n_edges = len(seen)
+        self._topo = self._topological_order()
+
+    def _topological_order(self) -> tuple[int, ...]:
+        indegree = [len(p) for p in self.parents]
+        stack = [t for t in range(self.n_tasks) if indegree[t] == 0]
+        order: list[int] = []
+        while stack:
+            t = stack.pop()
+            order.append(t)
+            for c in self.children[t]:
+                indegree[c] -= 1
+                if indegree[c] == 0:
+                    stack.append(c)
+        if len(order) != self.n_tasks:
+            raise ValueError("dependency graph contains a cycle")
+        return tuple(order)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def topological_order(self) -> tuple[int, ...]:
+        """One valid topological linearisation of the subtasks."""
+        return self._topo
+
+    @cached_property
+    def roots(self) -> tuple[int, ...]:
+        """Subtasks with no parents — schedulable immediately."""
+        return tuple(t for t in range(self.n_tasks) if not self.parents[t])
+
+    @cached_property
+    def leaves(self) -> tuple[int, ...]:
+        """Subtasks with no children."""
+        return tuple(t for t in range(self.n_tasks) if not self.children[t])
+
+    @cached_property
+    def depth(self) -> int:
+        """Length of the longest path, in nodes (a chain of k nodes → k)."""
+        level = [1] * self.n_tasks
+        for t in self._topo:
+            for c in self.children[t]:
+                level[c] = max(level[c], level[t] + 1)
+        return max(level)
+
+    @cached_property
+    def levels(self) -> tuple[int, ...]:
+        """Per-task level: 1 + length of the longest path from any root."""
+        level = [1] * self.n_tasks
+        for t in self._topo:
+            for c in self.children[t]:
+                level[c] = max(level[c], level[t] + 1)
+        return tuple(level)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (parent, child) pairs."""
+        return [(u, v) for u in range(self.n_tasks) for v in self.children[u]]
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` (for analysis/plotting)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.n_tasks))
+        g.add_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskGraph(n_tasks={self.n_tasks}, n_edges={self.n_edges}, depth={self.depth})"
+
+
+def generate_dag(spec: DagSpec = DagSpec(), seed: SeedLike = None) -> TaskGraph:
+    """Generate one layered random :class:`TaskGraph` per *spec*.
+
+    Construction: tasks are laid out level by level with random widths; every
+    non-root task draws 1..max_in_degree parents, each taken from the
+    previous level with probability ``1 - back_level_prob`` or from a random
+    earlier level otherwise, preferring parents whose out-degree is below the
+    soft cap.  Task ids increase with level, so ids are already topologically
+    ordered (useful for readable traces, not relied upon by schedulers).
+    """
+    rng = as_generator(seed)
+    n = spec.n_tasks
+
+    # Partition tasks into levels with E[width] == mean_width.
+    levels: list[list[int]] = []
+    next_id = 0
+    while next_id < n:
+        width = int(rng.integers(1, 2 * spec.mean_width))
+        width = min(width, n - next_id)
+        levels.append(list(range(next_id, next_id + width)))
+        next_id += width
+
+    out_degree = np.zeros(n, dtype=int)
+    edges: list[tuple[int, int]] = []
+    for li in range(1, len(levels)):
+        for v in levels[li]:
+            n_parents = int(rng.integers(1, spec.max_in_degree + 1))
+            chosen: set[int] = set()
+            for _ in range(n_parents):
+                if li > 1 and rng.random() < spec.back_level_prob:
+                    src_level = int(rng.integers(0, li - 1))
+                else:
+                    src_level = li - 1
+                pool = levels[src_level]
+                under_cap = [u for u in pool if out_degree[u] < spec.max_out_degree]
+                candidates = under_cap or pool
+                u = candidates[int(rng.integers(len(candidates)))]
+                if u not in chosen:
+                    chosen.add(u)
+                    out_degree[u] += 1
+                    edges.append((u, v))
+    return TaskGraph(n, edges)

@@ -1,0 +1,183 @@
+"""Structured task-graph families.
+
+The paper's ten DAGs come from the randomised layered generator of [ShC04]
+(:func:`repro.workload.dag.generate_dag`); real applications, however, have
+*structured* dependence patterns, and the heterogeneous-computing
+literature the paper builds on evaluates against exactly these families.
+This module provides the classic parametric topologies so examples and
+extension studies can exercise the SLRH on recognisable workloads:
+
+* :func:`chain` — strictly sequential pipeline;
+* :func:`fork_join` — one source fans out to parallel branches that join;
+* :func:`out_tree` / :func:`in_tree` — balanced k-ary (reduction) trees;
+* :func:`diamond_mesh` — the 2-D wavefront dependence of stencil codes
+  (Gauss-Seidel/SOR sweeps);
+* :func:`fft` — the butterfly dependence of an n-point transform;
+* :func:`gaussian_elimination` — the triangular update pattern of LU
+  factorisation without pivoting;
+* :func:`map_reduce` — s independent map stripes into r reducers.
+
+All constructors return a :class:`~repro.workload.dag.TaskGraph`; task ids
+increase along a valid topological order.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workload.dag import TaskGraph
+
+
+def chain(n_tasks: int) -> TaskGraph:
+    """A strictly sequential pipeline of *n_tasks* stages."""
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    return TaskGraph(n_tasks, [(i, i + 1) for i in range(n_tasks - 1)])
+
+
+def fork_join(branches: int, branch_length: int = 1) -> TaskGraph:
+    """One source forks into *branches* parallel chains that join.
+
+    Total tasks: ``2 + branches * branch_length``; ids: 0 is the fork,
+    the last id is the join.
+    """
+    if branches < 1 or branch_length < 1:
+        raise ValueError("branches and branch_length must be >= 1")
+    n = 2 + branches * branch_length
+    join = n - 1
+    edges = []
+    for b in range(branches):
+        first = 1 + b * branch_length
+        edges.append((0, first))
+        for k in range(branch_length - 1):
+            edges.append((first + k, first + k + 1))
+        edges.append((first + branch_length - 1, join))
+    return TaskGraph(n, edges)
+
+
+def out_tree(depth: int, arity: int = 2) -> TaskGraph:
+    """Balanced *arity*-ary tree of the given *depth* (a chain is depth-1
+    levels of edges), root at task 0, edges parent→child (distribution)."""
+    if depth < 1 or arity < 1:
+        raise ValueError("depth and arity must be >= 1")
+    n = sum(arity**k for k in range(depth))
+    edges = []
+    # Level-order ids: node i's children are arity*i+1 .. arity*i+arity.
+    for i in range(n):
+        for c in range(arity * i + 1, arity * i + arity + 1):
+            if c < n:
+                edges.append((i, c))
+    return TaskGraph(n, edges)
+
+
+def in_tree(depth: int, arity: int = 2) -> TaskGraph:
+    """Balanced reduction tree: leaves feed upward into a single sink.
+
+    The mirror of :func:`out_tree`; the sink is the *last* task id.
+    """
+    base = out_tree(depth, arity)
+    n = base.n_tasks
+    # Reverse edges and relabel so ids stay topologically increasing:
+    # new_id = n - 1 - old_id.
+    edges = [(n - 1 - v, n - 1 - u) for (u, v) in base.edges()]
+    return TaskGraph(n, edges)
+
+
+def diamond_mesh(side: int) -> TaskGraph:
+    """2-D wavefront: task (i, j) depends on (i-1, j) and (i, j-1).
+
+    The dependence pattern of Gauss-Seidel sweeps and dynamic-programming
+    tables; ``side × side`` tasks, row-major ids.
+    """
+    if side < 1:
+        raise ValueError("side must be >= 1")
+    edges = []
+    for i in range(side):
+        for j in range(side):
+            t = i * side + j
+            if i + 1 < side:
+                edges.append((t, (i + 1) * side + j))
+            if j + 1 < side:
+                edges.append((t, i * side + j + 1))
+    return TaskGraph(side * side, edges)
+
+
+def fft(points: int) -> TaskGraph:
+    """Butterfly DAG of a *points*-point FFT (*points* a power of two).
+
+    ``log2(points) + 1`` ranks of *points* tasks each; task (r+1, i)
+    depends on (r, i) and (r, i XOR 2^r).
+    """
+    if points < 2 or points & (points - 1):
+        raise ValueError("points must be a power of two >= 2")
+    ranks = int(math.log2(points))
+    edges = []
+    for r in range(ranks):
+        for i in range(points):
+            src = r * points + i
+            edges.append((src, (r + 1) * points + i))
+            edges.append((src, (r + 1) * points + (i ^ (1 << r))))
+    return TaskGraph((ranks + 1) * points, edges)
+
+
+def gaussian_elimination(size: int) -> TaskGraph:
+    """Task graph of LU factorisation on a *size* × *size* matrix.
+
+    Per elimination step k: one pivot task, then ``size - k - 1`` update
+    tasks depending on it; each step's pivot depends on the previous
+    step's update of its own column.  Total tasks:
+    ``size - 1 + (size - 1) * size / 2``... concretely, step k (0-based,
+    k < size - 1) contributes ``1 + (size - k - 1)`` tasks.
+    """
+    if size < 2:
+        raise ValueError("size must be >= 2")
+    edges = []
+    ids: dict[tuple[str, int, int], int] = {}
+    next_id = 0
+
+    def new(kind: str, k: int, j: int) -> int:
+        nonlocal next_id
+        ids[(kind, k, j)] = next_id
+        next_id += 1
+        return ids[(kind, k, j)]
+
+    for k in range(size - 1):
+        pivot = new("pivot", k, k)
+        if k > 0:
+            edges.append((ids[("update", k - 1, k)], pivot))
+        for j in range(k + 1, size):
+            upd = new("update", k, j)
+            edges.append((pivot, upd))
+            if k > 0 and ("update", k - 1, j) in ids:
+                edges.append((ids[("update", k - 1, j)], upd))
+    return TaskGraph(next_id, edges)
+
+
+def map_reduce(mappers: int, reducers: int = 1) -> TaskGraph:
+    """*mappers* independent map tasks shuffled into *reducers* sinks.
+
+    A splitter task 0 feeds every mapper; every mapper feeds every reducer
+    (the all-to-all shuffle).
+    """
+    if mappers < 1 or reducers < 1:
+        raise ValueError("mappers and reducers must be >= 1")
+    n = 1 + mappers + reducers
+    edges = []
+    for m in range(1, mappers + 1):
+        edges.append((0, m))
+        for r in range(1 + mappers, n):
+            edges.append((m, r))
+    return TaskGraph(n, edges)
+
+
+#: Constructors by name, for CLI/example convenience.
+TOPOLOGIES = {
+    "chain": chain,
+    "fork_join": fork_join,
+    "out_tree": out_tree,
+    "in_tree": in_tree,
+    "diamond_mesh": diamond_mesh,
+    "fft": fft,
+    "gaussian_elimination": gaussian_elimination,
+    "map_reduce": map_reduce,
+}

@@ -1,0 +1,47 @@
+"""Primary/secondary subtask versions (§III).
+
+Every subtask may execute in one of two versions:
+
+* the **primary** (full) version delivers the subtask's complete value; only
+  primary executions count toward the study objective ``T100``;
+* the **secondary** version is a degraded fallback consuming 10 % of the
+  primary's execution time and energy and emitting 10 % of its output data.
+
+The 10 % factor is :data:`SECONDARY_FRACTION`; the scaling is applied
+uniformly to execution time (hence compute energy, which is rate × time) and
+to every outgoing data item.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Fraction of primary time/energy/output-data used by the secondary version.
+SECONDARY_FRACTION: float = 0.1
+
+
+class Version(enum.Enum):
+    """A subtask execution version."""
+
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+
+    @property
+    def scale(self) -> float:
+        """Multiplier applied to primary execution time and output data."""
+        return 1.0 if self is Version.PRIMARY else SECONDARY_FRACTION
+
+    @property
+    def counts_toward_t100(self) -> bool:
+        """Only primary executions count toward ``T100``."""
+        return self is Version.PRIMARY
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+PRIMARY = Version.PRIMARY
+SECONDARY = Version.SECONDARY
+
+#: Evaluation order used when both versions are considered (ties → primary).
+BOTH_VERSIONS: tuple[Version, Version] = (PRIMARY, SECONDARY)

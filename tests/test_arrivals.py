@@ -1,0 +1,120 @@
+"""Non-deterministic subtask arrivals (release times)."""
+
+import pytest
+
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.sim.validate import ValidationError, validate_schedule
+from repro.workload.arrivals import generate_release_times
+from repro.workload.scenario import Scenario
+
+
+class TestGeneration:
+    def test_tuple_per_task(self, small_scenario):
+        rel = generate_release_times(small_scenario.dag, 5.0, seed=0)
+        assert len(rel) == small_scenario.n_tasks
+        assert all(r >= 0 for r in rel)
+
+    def test_topologically_consistent(self, small_scenario):
+        dag = small_scenario.dag
+        rel = generate_release_times(dag, 5.0, seed=1)
+        for u, v in dag.edges():
+            assert rel[u] <= rel[v] + 1e-9
+
+    def test_reproducible(self, small_scenario):
+        a = generate_release_times(small_scenario.dag, 5.0, seed=2)
+        b = generate_release_times(small_scenario.dag, 5.0, seed=2)
+        assert a == b
+
+    def test_zero_interarrival_all_at_start(self, small_scenario):
+        rel = generate_release_times(small_scenario.dag, 0.0, seed=0, start=7.0)
+        assert set(rel) == {7.0}
+
+    def test_validation(self, small_scenario):
+        with pytest.raises(ValueError):
+            generate_release_times(small_scenario.dag, -1.0)
+        with pytest.raises(ValueError):
+            generate_release_times(small_scenario.dag, 1.0, start=-1.0)
+
+
+class TestScenarioReleases:
+    def test_default_is_paper_simplification(self, small_scenario):
+        assert small_scenario.release_times is None
+        assert small_scenario.release(0) == 0.0
+
+    def test_with_release_times(self, small_scenario):
+        rel = generate_release_times(small_scenario.dag, 3.0, seed=4)
+        sc = small_scenario.with_release_times(rel)
+        assert sc.release(0) == rel[0]
+        assert sc.with_tau(999.0).release_times == rel  # propagated
+
+    def test_wrong_length_rejected(self, small_scenario):
+        with pytest.raises(ValueError):
+            small_scenario.with_release_times([0.0])
+
+    def test_negative_rejected(self, small_scenario):
+        bad = [0.0] * small_scenario.n_tasks
+        bad[3] = -1.0
+        with pytest.raises(ValueError):
+            small_scenario.with_release_times(bad)
+
+
+class TestSchedulingUnderArrivals:
+    @pytest.fixture(scope="class")
+    def arriving(self, small_scenario):
+        rel = generate_release_times(small_scenario.dag, 4.0, seed=9)
+        return small_scenario.with_release_times(rel)
+
+    def test_slrh_respects_releases(self, arriving, mid_weights):
+        result = SLRH1(SlrhConfig(weights=mid_weights)).map(arriving)
+        validate_schedule(result.schedule)
+        for t, a in result.schedule.assignments.items():
+            assert a.start >= arriving.release(t) - 1e-9
+
+    def test_arrivals_delay_completion(self, small_scenario, mid_weights):
+        base = SLRH1(SlrhConfig(weights=mid_weights)).map(small_scenario)
+        slow_arrivals = small_scenario.with_release_times(
+            generate_release_times(small_scenario.dag, 30.0, seed=9)
+        )
+        delayed = SLRH1(SlrhConfig(weights=mid_weights)).map(slow_arrivals)
+        if base.complete and delayed.complete:
+            assert delayed.aet >= base.aet - 1e-6
+
+    def test_validator_catches_early_start(self, arriving, mid_weights):
+        import dataclasses
+
+        result = SLRH1(SlrhConfig(weights=mid_weights)).map(arriving)
+        late_task = max(
+            result.schedule.assignments,
+            key=lambda t: arriving.release(t),
+        )
+        if arriving.release(late_task) <= 0:
+            pytest.skip("no strictly-positive release among mapped tasks")
+        a = result.schedule.assignments[late_task]
+        result.schedule.assignments[late_task] = dataclasses.replace(
+            a, start=0.0, finish=a.duration
+        )
+        with pytest.raises(ValidationError):
+            validate_schedule(result.schedule)
+
+
+class TestDecisionLatency:
+    def test_latency_pushes_starts(self, small_scenario, mid_weights):
+        latency = 50  # cycles = 5 s
+        result = SLRH1(
+            SlrhConfig(weights=mid_weights, decision_latency_cycles=latency)
+        ).map(small_scenario)
+        validate_schedule(result.schedule)
+        # Every assignment starts at least one latency after *some* tick —
+        # in particular nothing can start before the very first decision
+        # could take effect.
+        earliest = min(a.start for a in result.schedule.assignments.values())
+        assert earliest >= latency * 0.1 - 1e-9
+
+    def test_latency_costs_quality(self, small_scenario, mid_weights):
+        crisp = SLRH1(SlrhConfig(weights=mid_weights)).map(small_scenario)
+        laggy = SLRH1(
+            SlrhConfig(weights=mid_weights, decision_latency_cycles=200)
+        ).map(small_scenario)
+        # A 20 s decision lag can only delay completion (or break it).
+        if crisp.complete and laggy.complete:
+            assert laggy.aet >= crisp.aet - 1e-6

@@ -1,0 +1,45 @@
+"""CLI report generator (`python -m repro.experiments`)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.__main__ import build_report, main
+from repro.experiments.scale import SMOKE_SCALE
+
+
+def test_build_report_tables_only():
+    text = build_report(SMOKE_SCALE, ["tables"])
+    assert "Table 1" in text
+    assert "Table 4" in text
+    assert "Figure 2" not in text
+
+
+def test_build_report_fig2():
+    text = build_report(SMOKE_SCALE, ["fig2"])
+    assert "Figure 2" in text
+
+
+def test_main_writes_out(tmp_path):
+    out = tmp_path / "report.txt"
+    rc = main(["--scale", "smoke", "--only", "tables", "--out", str(out)])
+    assert rc == 0
+    assert "Table 1" in out.read_text()
+
+
+def test_main_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        main(["--scale", "galactic"])
+
+
+def test_module_invocation_subprocess():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "--scale", "smoke",
+         "--only", "tables"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0
+    assert "Table 1" in proc.stdout

@@ -1,0 +1,58 @@
+"""Simulation clock arithmetic."""
+
+import pytest
+
+from repro.sim.clock import SimulationClock
+
+
+def test_defaults_match_paper():
+    clock = SimulationClock()
+    assert clock.delta_t_cycles == 10
+    assert clock.horizon_cycles == 100
+    assert clock.cycle_seconds == pytest.approx(0.1)
+
+
+def test_now_and_tick():
+    clock = SimulationClock(delta_t_cycles=10)
+    assert clock.now == 0.0
+    assert clock.tick() == pytest.approx(1.0)
+    assert clock.now == pytest.approx(1.0)
+    clock.tick()
+    assert clock.cycle == 20
+
+
+def test_horizon_end():
+    clock = SimulationClock(delta_t_cycles=10, horizon_cycles=100)
+    assert clock.horizon_end == pytest.approx(10.0)
+    clock.tick()
+    assert clock.horizon_end == pytest.approx(11.0)
+
+
+def test_within_horizon():
+    clock = SimulationClock()
+    assert clock.within_horizon(0.0)
+    assert clock.within_horizon(10.0)
+    assert not clock.within_horizon(10.5)
+
+
+def test_exceeded():
+    clock = SimulationClock(cycle=100)
+    assert clock.exceeded(9.0)
+    assert not clock.exceeded(10.0)
+
+
+def test_start_cycle():
+    clock = SimulationClock(cycle=50)
+    assert clock.now == pytest.approx(5.0)
+
+
+def test_delta_t_seconds():
+    assert SimulationClock(delta_t_cycles=25).delta_t_seconds == pytest.approx(2.5)
+
+
+@pytest.mark.parametrize(
+    "kw", [{"delta_t_cycles": 0}, {"horizon_cycles": 0}, {"cycle_seconds": 0.0}, {"cycle": -1}]
+)
+def test_validation(kw):
+    with pytest.raises(ValueError):
+        SimulationClock(**kw)

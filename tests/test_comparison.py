@@ -1,0 +1,112 @@
+"""The shared figures-3-7 comparison engine, at a throwaway tiny scale."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    CaseComparison,
+    HeuristicScenarioOutcome,
+    make_factory,
+    run_comparison,
+)
+from repro.experiments.figures import (
+    figure3_weight_sensitivity,
+    figure4_t100_comparison,
+    figure5_vs_upper_bound,
+    figure6_execution_time,
+    figure7_value_metric,
+)
+from repro.experiments.scale import ExperimentScale
+
+TINY = ExperimentScale(
+    name="unit-tiny", n_tasks=14, n_etc=1, n_dag=1,
+    coarse_step=0.5, fine=False, include_slrh2=False,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_comparison(TINY)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["SLRH-1", "SLRH-2", "SLRH-3", "Max-Max"])
+    def test_known_heuristics(self, name):
+        from repro.core.objective import Weights
+
+        mapper = make_factory(name)(Weights.from_alpha_beta(0.5, 0.2))
+        assert hasattr(mapper, "map")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_factory("SLRH-42")
+
+
+class TestRunComparison:
+    def test_all_cells_present(self, results):
+        heuristics = results.heuristics()
+        assert heuristics == ["SLRH-1", "SLRH-3", "Max-Max"]
+        for h in heuristics:
+            for case in "ABC":
+                cell = results.cell(h, case)
+                assert len(cell.outcomes) == 1
+
+    def test_outcome_fields(self, results):
+        for cell in results.cells.values():
+            for o in cell.outcomes:
+                assert 0 <= o.ub <= TINY.n_tasks
+                assert o.evaluations > 0
+                if o.succeeded:
+                    assert 0 <= o.t100 <= TINY.n_tasks
+                    assert o.heuristic_seconds > 0
+
+    def test_memoised(self):
+        assert run_comparison(TINY) is run_comparison(TINY)
+
+    def test_bad_n_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_comparison(TINY, n_jobs=0)
+
+
+class TestCellAggregates:
+    def test_stats_on_failure_are_nan(self):
+        cell = CaseComparison(heuristic="X", case="A")
+        cell.outcomes.append(
+            HeuristicScenarioOutcome(
+                heuristic="X", case="A", etc=0, dag=0, succeeded=False,
+                alpha=float("nan"), beta=float("nan"), t100=0,
+                aet=float("nan"), heuristic_seconds=float("nan"),
+                ub=10, evaluations=3,
+            )
+        )
+        assert cell.success_rate == 0.0
+        assert cell.t100_mean != cell.t100_mean  # NaN
+        a_mean, a_min, a_max = cell.alpha_stats()
+        assert a_mean != a_mean
+
+    def test_vs_bound(self, results):
+        for cell in results.cells.values():
+            for o in cell.outcomes:
+                if o.succeeded and o.ub:
+                    assert o.vs_bound == pytest.approx(o.t100 / o.ub)
+
+
+class TestFigureViews:
+    def test_fig3_renders(self, results):
+        fig = figure3_weight_sensitivity(TINY)
+        text = fig.render()
+        assert "SLRH-1" in text
+        assert fig.slrh2_success_rate() is None  # SLRH-2 excluded at TINY
+
+    def test_fig4_to_7_values(self):
+        for driver in (
+            figure4_t100_comparison,
+            figure5_vs_upper_bound,
+            figure6_execution_time,
+            figure7_value_metric,
+        ):
+            fig = driver(TINY)
+            v = fig.value("SLRH-1", "A")
+            assert v == v  # not NaN: the tiny scenario is solvable
+            assert "Case A" in fig.render()
+            with pytest.raises(KeyError):
+                fig.value("nonsense", "A")

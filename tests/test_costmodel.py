@@ -1,0 +1,69 @@
+"""Analytic SLRH cost model."""
+
+import math
+
+import pytest
+
+from repro.core.costmodel import (
+    calibrate_seconds_per_plan,
+    estimate_cost,
+    validate_against_trace,
+)
+from repro.core.slrh import SLRH1, SLRH3
+
+
+class TestEstimate:
+    def test_fields_positive(self, small_scenario):
+        est = estimate_cost(small_scenario)
+        assert est.ticks > 0
+        assert est.machine_scans >= est.ticks
+        assert est.plan_evaluations >= est.pool_builds
+
+    def test_unknown_variant_rejected(self, small_scenario):
+        with pytest.raises(KeyError):
+            estimate_cost(small_scenario, variant="SLRH-9")
+
+    def test_slrh2_costs_more_than_slrh1(self, small_scenario):
+        e1 = estimate_cost(small_scenario, "SLRH-1")
+        e2 = estimate_cost(small_scenario, "SLRH-2")
+        assert e2.plan_evaluations > e1.plan_evaluations
+
+    def test_seconds_nan_without_calibration(self, small_scenario):
+        assert math.isnan(estimate_cost(small_scenario).seconds)
+
+    def test_seconds_with_calibration(self, small_scenario):
+        est = estimate_cost(small_scenario, seconds_per_plan=1e-4)
+        assert est.seconds == pytest.approx(est.plan_evaluations * 1e-4)
+
+    def test_summary_keys(self, small_scenario):
+        s = estimate_cost(small_scenario).summary()
+        assert set(s) == {"ticks", "machine_scans", "pool_builds",
+                          "plan_evaluations", "seconds"}
+
+
+class TestCalibration:
+    def test_calibrated_prediction_reasonable(self, small_scenario, mid_config):
+        result = SLRH1(mid_config).map(small_scenario)
+        spp = calibrate_seconds_per_plan(result, small_scenario)
+        assert spp > 0
+        est = estimate_cost(small_scenario, seconds_per_plan=spp)
+        # Calibration is exact by construction on the same run.
+        assert est.seconds == pytest.approx(result.heuristic_seconds)
+
+    def test_transfers_across_variants(self, small_scenario, mid_config):
+        """A constant fit on SLRH-1 predicts SLRH-3's runtime within an
+        order of magnitude — the model's stated accuracy claim."""
+        r1 = SLRH1(mid_config).map(small_scenario)
+        spp = calibrate_seconds_per_plan(r1, small_scenario)
+        r3 = SLRH3(mid_config).map(small_scenario)
+        est3 = estimate_cost(small_scenario, "SLRH-3", seconds_per_plan=spp)
+        assert est3.seconds / r3.heuristic_seconds < 10.0
+        assert est3.seconds / r3.heuristic_seconds > 0.1
+
+
+class TestTraceValidation:
+    def test_ratios_within_order_of_magnitude(self, small_scenario, mid_config):
+        result = SLRH1(mid_config).map(small_scenario)
+        ratios = validate_against_trace(result, small_scenario)
+        for key, ratio in ratios.items():
+            assert 0.1 < ratio < 10.0, f"{key} prediction off by {ratio}"

@@ -1,0 +1,114 @@
+"""Critical-path bound and slack analytics."""
+
+import pytest
+
+from repro.analysis.critical_path import (
+    critical_chain,
+    critical_path_bound,
+    efficiency,
+    schedule_slack,
+)
+from repro.core.slrh import SLRH1
+from repro.baselines.greedy import GreedyScheduler
+from repro.sim.schedule import Schedule
+from repro.workload.versions import PRIMARY, SECONDARY
+
+
+@pytest.fixture(scope="module")
+def result(small_scenario, mid_config):
+    return SLRH1(mid_config).map(small_scenario)
+
+
+class TestBound:
+    def test_bound_positive(self, small_scenario):
+        assert critical_path_bound(small_scenario) > 0.0
+
+    def test_secondary_bound_is_tenth(self, small_scenario):
+        primary = critical_path_bound(small_scenario, PRIMARY)
+        secondary = critical_path_bound(small_scenario, SECONDARY)
+        assert secondary == pytest.approx(0.1 * primary)
+
+    def test_bounds_all_primary_schedules(self, small_scenario, mid_config):
+        """Any complete all-primary schedule's makespan dominates the
+        primary bound; any complete schedule dominates the secondary one."""
+        result = GreedyScheduler().map(small_scenario)
+        assert result.complete
+        lower = critical_path_bound(small_scenario, SECONDARY)
+        assert result.aet >= lower - 1e-6
+        if result.t100 == small_scenario.n_tasks:
+            assert result.aet >= critical_path_bound(small_scenario, PRIMARY) - 1e-6
+
+    def test_releases_raise_bound(self, small_scenario):
+        from repro.workload.arrivals import generate_release_times
+
+        rel = generate_release_times(small_scenario.dag, 50.0, seed=3)
+        delayed = small_scenario.with_release_times(rel)
+        assert critical_path_bound(delayed) >= critical_path_bound(small_scenario)
+
+    def test_chain_dag_bound_is_sum(self):
+        import numpy as np
+
+        from repro.workload.data import generate_data_sizes
+        from repro.workload.scenario import Scenario
+        from repro.workload.topologies import chain
+        from repro.grid.config import CASE_A
+
+        dag = chain(5)
+        etc = np.full((5, 4), 10.0)
+        sc = Scenario(
+            grid=CASE_A, etc=etc, dag=dag,
+            data_sizes=generate_data_sizes(dag, seed=0), tau=1e9,
+        )
+        assert critical_path_bound(sc) == pytest.approx(50.0)
+
+
+class TestEfficiency:
+    def test_in_unit_interval(self, result):
+        if not result.complete:
+            pytest.skip("scenario too tight")
+        e = efficiency(result.schedule, SECONDARY)
+        assert 0.0 < e <= 1.0 + 1e-9
+
+    def test_realized_bound_dominates_uniform_secondary(self, result):
+        from repro.analysis.critical_path import realized_critical_path_bound
+
+        realized = realized_critical_path_bound(result.schedule)
+        uniform = critical_path_bound(result.schedule.scenario, SECONDARY)
+        assert realized >= uniform - 1e-9
+        # And the schedule's makespan dominates its realized bound.
+        assert result.schedule.makespan >= realized - 1e-6
+
+    def test_default_efficiency_uses_realized_bound(self, result):
+        if not result.complete:
+            pytest.skip("scenario too tight")
+        e = efficiency(result.schedule)
+        assert 0.0 < e <= 1.0 + 1e-9
+        assert e >= efficiency(result.schedule, SECONDARY) - 1e-9
+
+    def test_requires_complete(self, small_scenario):
+        with pytest.raises(ValueError):
+            efficiency(Schedule(small_scenario))
+
+
+class TestSlack:
+    def test_nonnegative_and_complete(self, result):
+        slack = schedule_slack(result.schedule)
+        assert set(slack) == set(result.schedule.assignments)
+        assert all(s >= -1e-6 for s in slack.values())
+
+    def test_makespan_task_has_zero_slack(self, result):
+        slack = schedule_slack(result.schedule)
+        last = max(
+            result.schedule.assignments,
+            key=lambda t: result.schedule.assignments[t].finish,
+        )
+        assert slack[last] == pytest.approx(0.0, abs=1e-6)
+
+    def test_critical_chain_nonempty_and_ordered(self, result):
+        chain_tasks = critical_chain(result.schedule)
+        assert chain_tasks
+        starts = [result.schedule.assignments[t].start for t in chain_tasks]
+        assert starts == sorted(starts)
+
+    def test_empty_schedule(self, small_scenario):
+        assert schedule_slack(Schedule(small_scenario)) == {}

@@ -1,0 +1,129 @@
+"""DAG generation and TaskGraph invariants."""
+
+import networkx as nx
+import pytest
+
+from repro.workload.dag import DagSpec, TaskGraph, generate_dag
+
+
+class TestTaskGraph:
+    def test_diamond(self):
+        g = TaskGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert g.roots == (0,)
+        assert g.leaves == (3,)
+        assert g.parents[3] == (1, 2)
+        assert g.children[0] == (1, 2)
+        assert g.depth == 3
+
+    def test_duplicate_edges_collapsed(self):
+        g = TaskGraph(2, [(0, 1), (0, 1)])
+        assert g.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(2, [(0, 2)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_topological_order_valid(self):
+        g = TaskGraph(5, [(0, 1), (1, 2), (0, 3), (3, 4), (2, 4)])
+        pos = {t: i for i, t in enumerate(g.topological_order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_singleton(self):
+        g = TaskGraph(1, [])
+        assert g.roots == (0,)
+        assert g.leaves == (0,)
+        assert g.depth == 1
+
+    def test_levels_consistent_with_depth(self):
+        g = TaskGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.levels == (1, 2, 3, 4)
+        assert g.depth == 4
+
+    def test_to_networkx_matches(self):
+        g = TaskGraph(4, [(0, 1), (0, 2), (1, 3)])
+        nxg = g.to_networkx()
+        assert nx.is_directed_acyclic_graph(nxg)
+        assert set(nxg.edges()) == set(g.edges())
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            TaskGraph(0, [])
+
+
+class TestDagSpecValidation:
+    def test_defaults(self):
+        DagSpec()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"n_tasks": 0},
+            {"mean_width": 0},
+            {"max_in_degree": 0},
+            {"max_out_degree": 0},
+            {"back_level_prob": 1.5},
+            {"back_level_prob": -0.1},
+        ],
+    )
+    def test_rejects_bad_params(self, kw):
+        with pytest.raises(ValueError):
+            DagSpec(**kw)
+
+
+class TestGeneration:
+    def test_task_count(self):
+        g = generate_dag(DagSpec(n_tasks=100), seed=0)
+        assert g.n_tasks == 100
+
+    def test_acyclic_via_networkx(self):
+        g = generate_dag(DagSpec(n_tasks=200), seed=1)
+        assert nx.is_directed_acyclic_graph(g.to_networkx())
+
+    def test_reproducible(self):
+        a = generate_dag(DagSpec(n_tasks=64), seed=5)
+        b = generate_dag(DagSpec(n_tasks=64), seed=5)
+        assert a.edges() == b.edges()
+
+    def test_seeds_differ(self):
+        a = generate_dag(DagSpec(n_tasks=64), seed=5)
+        b = generate_dag(DagSpec(n_tasks=64), seed=6)
+        assert a.edges() != b.edges()
+
+    def test_in_degree_bounded(self):
+        spec = DagSpec(n_tasks=200, max_in_degree=3)
+        g = generate_dag(spec, seed=2)
+        assert all(len(p) <= 3 for p in g.parents)
+
+    def test_every_non_root_has_parent(self):
+        g = generate_dag(DagSpec(n_tasks=150), seed=3)
+        first_level_width = len([t for t in range(g.n_tasks) if not g.parents[t]])
+        # All roots sit in the first generated level.
+        assert first_level_width <= 2 * DagSpec().mean_width
+
+    def test_connected_forward(self):
+        # Every task is reachable from some root.
+        g = generate_dag(DagSpec(n_tasks=80), seed=4)
+        nxg = g.to_networkx()
+        reachable = set(g.roots)
+        for r in g.roots:
+            reachable |= nx.descendants(nxg, r)
+        assert reachable == set(range(g.n_tasks))
+
+    def test_single_task(self):
+        g = generate_dag(DagSpec(n_tasks=1), seed=0)
+        assert g.n_tasks == 1
+        assert g.n_edges == 0
+
+    def test_ids_topologically_ordered_by_construction(self):
+        g = generate_dag(DagSpec(n_tasks=120), seed=7)
+        for u, v in g.edges():
+            assert u < v

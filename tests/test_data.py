@@ -1,0 +1,55 @@
+"""Global data item size generation."""
+
+import pytest
+
+from repro.workload.dag import DagSpec, generate_dag
+from repro.workload.data import DataSpec, generate_data_sizes
+
+
+@pytest.fixture(scope="module")
+def dag():
+    return generate_dag(DagSpec(n_tasks=120), seed=0)
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = DataSpec()
+        assert spec.mean_bits == pytest.approx(1e6)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DataSpec(mean_bits=0)
+        with pytest.raises(ValueError):
+            DataSpec(cv=0)
+
+
+class TestGeneration:
+    def test_every_edge_covered(self, dag):
+        sizes = generate_data_sizes(dag, seed=1)
+        assert set(sizes) == set(dag.edges())
+
+    def test_sizes_positive(self, dag):
+        sizes = generate_data_sizes(dag, seed=2)
+        assert all(v >= 1.0 for v in sizes.values())
+
+    def test_reproducible(self, dag):
+        a = generate_data_sizes(dag, seed=3)
+        b = generate_data_sizes(dag, seed=3)
+        assert a == b
+
+    def test_seeds_differ(self, dag):
+        a = generate_data_sizes(dag, seed=3)
+        b = generate_data_sizes(dag, seed=4)
+        assert a != b
+
+    def test_mean_near_spec(self, dag):
+        spec = DataSpec(mean_bits=2e6, cv=0.3)
+        sizes = generate_data_sizes(dag, spec, seed=5)
+        mean = sum(sizes.values()) / len(sizes)
+        assert mean == pytest.approx(2e6, rel=0.25)
+
+    def test_empty_dag_no_sizes(self):
+        from repro.workload.dag import TaskGraph
+
+        g = TaskGraph(3, [])
+        assert generate_data_sizes(g, seed=0) == {}

@@ -1,0 +1,93 @@
+"""Energy ledger: debits, credits, snapshots, affordability."""
+
+import numpy as np
+import pytest
+
+from repro.grid.config import CASE_A, make_case
+from repro.grid.energy import EnergyLedger
+
+
+@pytest.fixture
+def ledger():
+    return EnergyLedger(CASE_A)
+
+
+class TestQueries:
+    def test_initial_state(self, ledger):
+        assert ledger.remaining(0) == pytest.approx(580.0)
+        assert ledger.consumed(0) == 0.0
+        assert ledger.total_energy_consumed == 0.0
+        assert ledger.total_system_energy == pytest.approx(1276.0)
+
+    def test_can_afford_boundary(self, ledger):
+        assert ledger.can_afford(2, 58.0)
+        assert not ledger.can_afford(2, 58.1)
+
+
+class TestDebit:
+    def test_debit_reduces_remaining(self, ledger):
+        ledger.debit(0, 100.0)
+        assert ledger.remaining(0) == pytest.approx(480.0)
+        assert ledger.total_energy_consumed == pytest.approx(100.0)
+
+    def test_debit_exact_battery_allowed(self, ledger):
+        ledger.debit(2, 58.0)
+        assert ledger.remaining(2) == pytest.approx(0.0)
+
+    def test_overdraft_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.debit(2, 60.0)
+
+    def test_negative_debit_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.debit(0, -1.0)
+
+    def test_incremental_debits_accumulate(self, ledger):
+        for _ in range(5):
+            ledger.debit(1, 10.0)
+        assert ledger.consumed(1) == pytest.approx(50.0)
+
+
+class TestCredit:
+    def test_credit_refunds(self, ledger):
+        ledger.debit(0, 50.0)
+        ledger.credit(0, 20.0)
+        assert ledger.remaining(0) == pytest.approx(550.0)
+
+    def test_credit_beyond_consumption_rejected(self, ledger):
+        ledger.debit(0, 5.0)
+        with pytest.raises(ValueError):
+            ledger.credit(0, 6.0)
+
+    def test_negative_credit_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.credit(0, -1.0)
+
+
+class TestSnapshot:
+    def test_snapshot_restore_roundtrip(self, ledger):
+        ledger.debit(0, 33.0)
+        snap = ledger.snapshot()
+        ledger.debit(0, 10.0)
+        ledger.restore(snap)
+        assert ledger.consumed(0) == pytest.approx(33.0)
+
+    def test_snapshot_is_a_copy(self, ledger):
+        snap = ledger.snapshot()
+        ledger.debit(0, 1.0)
+        assert snap[0] == 0.0
+
+    def test_restore_shape_mismatch(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.restore(np.zeros(2))
+
+    def test_copy_independent(self, ledger):
+        dup = ledger.copy()
+        ledger.debit(0, 7.0)
+        assert dup.consumed(0) == 0.0
+
+
+def test_ledger_on_single_machine_grid():
+    ledger = EnergyLedger(make_case(1, 0))
+    ledger.debit(0, 580.0)
+    assert not ledger.can_afford(0, 0.1)

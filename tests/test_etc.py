@@ -1,0 +1,109 @@
+"""ETC generation: CVB gamma statistics and MR computation."""
+
+import numpy as np
+import pytest
+
+from repro.grid.config import CASE_A, make_case
+from repro.workload.etc import EtcSpec, generate_etc, min_relative_speed
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        EtcSpec()
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            EtcSpec(mean_task_time=0.0)
+
+    def test_rejects_nonpositive_cv(self):
+        with pytest.raises(ValueError):
+            EtcSpec(task_cv=0.0)
+        with pytest.raises(ValueError):
+            EtcSpec(machine_cv=-0.1)
+
+    def test_rejects_sub_unit_speedup(self):
+        with pytest.raises(ValueError):
+            EtcSpec(fast_speedup_mean=0.5)
+
+
+class TestGeneration:
+    def test_shape(self):
+        etc = generate_etc(100, CASE_A, seed=0)
+        assert etc.shape == (100, 4)
+
+    def test_strictly_positive(self):
+        etc = generate_etc(500, CASE_A, seed=1)
+        assert (etc > 0).all()
+
+    def test_reproducible(self):
+        a = generate_etc(50, CASE_A, seed=9)
+        b = generate_etc(50, CASE_A, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = generate_etc(50, CASE_A, seed=1)
+        b = generate_etc(50, CASE_A, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            generate_etc(0, CASE_A, seed=0)
+
+    def test_slow_class_mean_near_spec(self):
+        spec = EtcSpec(mean_task_time=131.0)
+        etc = generate_etc(4000, CASE_A, spec, seed=3)
+        slow_mean = etc[:, 2:].mean()
+        assert slow_mean == pytest.approx(131.0, rel=0.1)
+
+    def test_fast_machines_roughly_ten_times_faster(self):
+        etc = generate_etc(4000, CASE_A, seed=4)
+        ratio = etc[:, 2:].mean() / etc[:, :2].mean()
+        assert 6.0 < ratio < 14.0
+
+    def test_fast_beats_slow_per_task_usually(self):
+        etc = generate_etc(1000, CASE_A, seed=5)
+        frac = (etc[:, 0] < etc[:, 2]).mean()
+        assert frac > 0.95
+
+    def test_per_task_ratio_random_not_constant(self):
+        etc = generate_etc(200, CASE_A, seed=6)
+        ratios = etc[:, 2] / etc[:, 0]
+        assert ratios.std() / ratios.mean() > 0.1
+
+    def test_slow_only_grid(self):
+        g = make_case(0, 2)
+        etc = generate_etc(100, g, seed=7)
+        assert etc.shape == (100, 2)
+
+
+class TestMinRelativeSpeed:
+    def test_reference_is_one(self):
+        etc = generate_etc(100, CASE_A, seed=0)
+        mr = min_relative_speed(etc)
+        assert mr[0] == pytest.approx(1.0)
+
+    def test_fast_below_one_slow_above(self):
+        etc = generate_etc(1024, CASE_A, seed=0)
+        mr = min_relative_speed(etc)
+        assert mr[1] < 1.0
+        assert mr[2] > 1.0 and mr[3] > 1.0
+
+    def test_is_lower_bound_on_ratio(self):
+        etc = generate_etc(64, CASE_A, seed=2)
+        mr = min_relative_speed(etc)
+        ratios = etc / etc[:, [0]]
+        assert (ratios >= mr[np.newaxis, :] - 1e-12).all()
+
+    def test_alternative_reference(self):
+        etc = generate_etc(64, CASE_A, seed=2)
+        mr = min_relative_speed(etc, reference=2)
+        assert mr[2] == pytest.approx(1.0)
+
+    def test_rejects_bad_reference(self):
+        etc = generate_etc(10, CASE_A, seed=0)
+        with pytest.raises(IndexError):
+            min_relative_speed(etc, reference=4)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            min_relative_speed(np.ones(5))

@@ -1,0 +1,95 @@
+"""Range-based ETC generation and consistency shaping ([AlS00] taxonomy)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.config import CASE_A
+from repro.workload.etc import (
+    Consistency,
+    RangeEtcSpec,
+    generate_etc_range_based,
+    is_consistent,
+    shape_consistency,
+)
+
+
+class TestRangeSpec:
+    def test_defaults(self):
+        RangeEtcSpec()
+
+    def test_rejects_bad_task_range(self):
+        with pytest.raises(ValueError):
+            RangeEtcSpec(task_range=1.0)
+
+    def test_rejects_bad_multiplier(self):
+        with pytest.raises(ValueError):
+            RangeEtcSpec(slow_multiplier=(5.0, 2.0))
+        with pytest.raises(ValueError):
+            RangeEtcSpec(fast_multiplier=(0.0, 2.0))
+
+
+class TestRangeBased:
+    def test_shape_and_positive(self):
+        etc = generate_etc_range_based(50, CASE_A, seed=0)
+        assert etc.shape == (50, 4)
+        assert (etc > 0).all()
+
+    def test_reproducible(self):
+        a = generate_etc_range_based(30, CASE_A, seed=4)
+        b = generate_etc_range_based(30, CASE_A, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_bounded_by_ranges(self):
+        spec = RangeEtcSpec(task_range=2.0, slow_multiplier=(60, 115), fast_multiplier=(6, 11.5))
+        etc = generate_etc_range_based(200, CASE_A, spec, seed=1)
+        # Slow columns: q in [1,2), multiplier in [60,115) -> [60, 230).
+        assert etc[:, 2:].min() >= 60.0
+        assert etc[:, 2:].max() < 230.0
+        assert etc[:, :2].min() >= 6.0
+        assert etc[:, :2].max() < 23.0
+
+    def test_class_separation(self):
+        etc = generate_etc_range_based(500, CASE_A, seed=2)
+        ratio = etc[:, 2:].mean() / etc[:, :2].mean()
+        assert 7.0 < ratio < 13.0
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            generate_etc_range_based(0, CASE_A, seed=0)
+
+
+class TestConsistencyShaping:
+    @pytest.fixture(scope="class")
+    def raw(self):
+        return generate_etc_range_based(40, CASE_A, seed=7)
+
+    def test_inconsistent_is_identity(self, raw):
+        out = shape_consistency(raw, Consistency.INCONSISTENT)
+        assert np.array_equal(out, raw)
+        assert out is not raw  # still a copy
+
+    def test_consistent_output_is_consistent(self, raw):
+        out = shape_consistency(raw, Consistency.CONSISTENT)
+        assert is_consistent(out)
+
+    def test_raw_is_not_consistent(self, raw):
+        assert not is_consistent(raw)
+
+    def test_values_preserved_per_row(self, raw):
+        out = shape_consistency(raw, Consistency.CONSISTENT)
+        for i in range(raw.shape[0]):
+            assert np.allclose(sorted(out[i]), sorted(raw[i]))
+
+    def test_semi_consistent_shapes_even_rows(self, raw):
+        out = shape_consistency(raw, Consistency.SEMI_CONSISTENT)
+        ranking = np.argsort(raw.mean(axis=0))
+        even = out[::2][:, ranking]
+        assert np.all(np.diff(even, axis=1) >= -1e-12)
+        # Odd rows untouched.
+        assert np.array_equal(out[1::2], raw[1::2])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            shape_consistency(np.ones(4), Consistency.CONSISTENT)
+        with pytest.raises(ValueError):
+            is_consistent(np.ones(4))

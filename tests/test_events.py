@@ -1,0 +1,62 @@
+"""DES event queue ordering."""
+
+import pytest
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+def test_time_ordering():
+    q = EventQueue()
+    q.push(5.0, EventKind.TASK_START)
+    q.push(1.0, EventKind.TASK_START)
+    q.push(3.0, EventKind.TASK_START)
+    times = [e.time for e in q.drain()]
+    assert times == [1.0, 3.0, 5.0]
+
+
+def test_finish_before_start_at_same_instant():
+    q = EventQueue()
+    q.push(2.0, EventKind.TASK_START, "s")
+    q.push(2.0, EventKind.COMM_FINISH, "cf")
+    q.push(2.0, EventKind.TASK_FINISH, "tf")
+    kinds = [e.kind for e in q.drain()]
+    assert kinds == [EventKind.COMM_FINISH, EventKind.TASK_FINISH, EventKind.TASK_START]
+
+
+def test_machine_loss_first():
+    q = EventQueue()
+    q.push(2.0, EventKind.COMM_FINISH)
+    q.push(2.0, EventKind.MACHINE_LOSS)
+    assert q.pop().kind is EventKind.MACHINE_LOSS
+
+
+def test_insertion_order_breaks_remaining_ties():
+    q = EventQueue()
+    q.push(1.0, EventKind.TASK_START, "first")
+    q.push(1.0, EventKind.TASK_START, "second")
+    assert [e.payload for e in q.drain()] == ["first", "second"]
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        EventQueue().push(-1.0, EventKind.TASK_START)
+
+
+def test_pop_empty_rejected():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_len_and_bool_and_peek():
+    q = EventQueue()
+    assert not q
+    assert q.peek_time() is None
+    q.push(4.0, EventKind.TASK_START)
+    assert q and len(q) == 1
+    assert q.peek_time() == 4.0
+
+
+def test_event_comparison():
+    a = Event(time=1.0, priority=0, seq=0, kind=EventKind.MACHINE_LOSS)
+    b = Event(time=1.0, priority=1, seq=1, kind=EventKind.COMM_FINISH)
+    assert a < b

@@ -1,0 +1,123 @@
+"""Experiment drivers: scales, tables, reporting (cheap paths only —
+the figure drivers are exercised end-to-end by the benchmarks)."""
+
+import pytest
+
+from repro.experiments.reporting import format_table, mean_std
+from repro.experiments.scale import (
+    MEDIUM_SCALE,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    scale_from_env,
+)
+from repro.experiments.tables import (
+    table1_configurations,
+    table2_machine_parameters,
+    table3_min_relative_speed,
+    table4_upper_bound,
+)
+
+
+class TestScale:
+    def test_presets_consistent(self):
+        for s in (SMOKE_SCALE, SMALL_SCALE, MEDIUM_SCALE, PAPER_SCALE):
+            assert s.n_tasks >= 2
+
+    def test_paper_scale_matches_protocol(self):
+        assert PAPER_SCALE.n_tasks == 1024
+        assert PAPER_SCALE.n_etc == PAPER_SCALE.n_dag == 10
+        assert PAPER_SCALE.coarse_step == 0.1
+        assert PAPER_SCALE.fine_step == 0.02
+
+    def test_suite_cached(self):
+        assert SMOKE_SCALE.suite() is SMOKE_SCALE.suite()
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env() is SMALL_SCALE
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert scale_from_env() is SMOKE_SCALE
+
+    def test_env_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(KeyError):
+            scale_from_env()
+
+    def test_degenerate_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", n_tasks=1, n_etc=1, n_dag=1)
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        rows = {r["case"]: (r["n_fast"], r["n_slow"]) for r in table1_configurations()}
+        assert rows == {"A": (2, 2), "B": (2, 1), "C": (1, 2)}
+
+    def test_table2_matches_paper(self):
+        rows = {r["class"]: r for r in table2_machine_parameters()}
+        assert rows["fast"]["B_energy_units"] == 580.0
+        assert rows["slow"]["B_energy_units"] == 58.0
+        assert rows["fast"]["BW_mbit_per_s"] == pytest.approx(8.0)
+        assert rows["slow"]["BW_mbit_per_s"] == pytest.approx(4.0)
+
+    def test_table3_shape(self):
+        stats = table3_min_relative_speed(SMOKE_SCALE)
+        # Case A: 3 non-reference machines; B: 2; C: 2.
+        assert len(stats) == 7
+        by_case = {}
+        for s in stats:
+            by_case.setdefault(s.case, []).append(s)
+        assert len(by_case["A"]) == 3
+        assert len(by_case["B"]) == 2
+        assert len(by_case["C"]) == 2
+
+    def test_table3_fast_below_one_slow_above(self):
+        for s in table3_min_relative_speed(SMOKE_SCALE):
+            if "fast" in s.machine:
+                assert s.mean < 1.0
+            else:
+                assert s.mean > 1.0
+
+    def test_table4_rows(self):
+        rows = table4_upper_bound(SMOKE_SCALE)
+        assert len(rows) == SMOKE_SCALE.n_etc
+        for r in rows:
+            for case in "ABC":
+                assert 0 <= r[f"case_{case}"] <= SMOKE_SCALE.n_tasks
+
+    def test_table4_case_c_not_above_a(self):
+        for r in table4_upper_bound(SMOKE_SCALE):
+            assert r["case_C"] <= r["case_A"]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["x", "yy"], [[1, 2.5], [10, 0.123456]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("x")
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_format_nan(self):
+        text = format_table(["a"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_mean_std(self):
+        m, s = mean_std([1.0, 2.0, 3.0])
+        assert m == pytest.approx(2.0)
+        assert s == pytest.approx((2 / 3) ** 0.5)
+
+    def test_mean_std_empty(self):
+        m, s = mean_std([])
+        assert m != m and s != s  # NaN

@@ -1,0 +1,81 @@
+"""SLRH feasibility rule: parents mapped + worst-case comm energy reserve."""
+
+import pytest
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.sim.schedule import Schedule
+from repro.workload.versions import PRIMARY, SECONDARY
+
+
+@pytest.fixture
+def checker(tiny_scenario):
+    return FeasibilityChecker(tiny_scenario)
+
+
+@pytest.fixture
+def schedule(tiny_scenario):
+    return Schedule(tiny_scenario)
+
+
+class TestRequiredEnergy:
+    def test_includes_comm_reserve(self, tiny_scenario, checker):
+        no_reserve = FeasibilityChecker(tiny_scenario, comm_reserve=False)
+        root = tiny_scenario.dag.roots[0]
+        with_r = checker.required_energy(root, 0, SECONDARY)
+        without = no_reserve.required_energy(root, 0, SECONDARY)
+        if tiny_scenario.dag.children[root]:
+            assert with_r > without
+        else:
+            assert with_r == pytest.approx(without)
+
+    def test_version_scaling(self, tiny_scenario, checker):
+        root = tiny_scenario.dag.roots[0]
+        primary = checker.required_energy(root, 0, PRIMARY)
+        secondary = checker.required_energy(root, 0, SECONDARY)
+        assert secondary == pytest.approx(0.1 * primary)
+
+    def test_worst_case_comm_energy_formula(self, tiny_scenario, checker):
+        root = tiny_scenario.dag.roots[0]
+        total_bits = sum(
+            tiny_scenario.data_bits(root, c, PRIMARY)
+            for c in tiny_scenario.dag.children[root]
+        )
+        expected = tiny_scenario.network.worst_case_transfer_energy(0, total_bits)
+        assert checker.worst_case_comm_energy(root, 0, PRIMARY) == pytest.approx(expected)
+
+
+class TestIsFeasible:
+    def test_root_feasible_initially(self, schedule, checker, tiny_scenario):
+        root = tiny_scenario.dag.roots[0]
+        assert checker.is_feasible(schedule, root, 0)
+
+    def test_unmapped_parents_infeasible(self, schedule, checker, tiny_scenario):
+        dag = tiny_scenario.dag
+        non_root = next(t for t in range(dag.n_tasks) if dag.parents[t])
+        assert not checker.is_feasible(schedule, non_root, 0)
+
+    def test_mapped_task_infeasible(self, schedule, checker, tiny_scenario):
+        root = tiny_scenario.dag.roots[0]
+        schedule.commit(schedule.plan(root, PRIMARY, 0))
+        assert not checker.is_feasible(schedule, root, 0)
+
+    def test_energy_exhaustion_infeasible(self, tiny_scenario, checker):
+        schedule = Schedule(tiny_scenario)
+        root = tiny_scenario.dag.roots[0]
+        # Drain machine 0 almost entirely.
+        schedule.debit_external(0, schedule.available_energy(0) * 0.9999)
+        need = checker.required_energy(root, 0, SECONDARY)
+        if need > schedule.available_energy(0):
+            assert not checker.is_feasible(schedule, root, 0)
+        else:
+            assert checker.is_feasible(schedule, root, 0)
+
+    def test_reserves_reduce_feasibility(self, tiny_scenario):
+        """Held reserves shrink the budget the checker sees."""
+        checker = FeasibilityChecker(tiny_scenario)
+        schedule = Schedule(tiny_scenario)
+        root = tiny_scenario.dag.roots[0]
+        before = schedule.available_energy(0)
+        schedule.commit(schedule.plan(root, PRIMARY, 0))
+        after = schedule.available_energy(0)
+        assert after < before

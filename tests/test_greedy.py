@@ -1,0 +1,58 @@
+"""Greedy static mapper and τ calibration."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyScheduler, calibrate_tau
+from repro.sim.validate import validate_schedule
+from repro.util.units import CYCLE_SECONDS
+
+
+class TestGreedy:
+    def test_valid_complete_schedule(self, small_scenario):
+        result = GreedyScheduler().map(small_scenario)
+        assert result.complete
+        validate_schedule(result.schedule, require_complete=True)
+
+    def test_topological_commit_order(self, small_scenario):
+        result = GreedyScheduler().map(small_scenario)
+        dag = small_scenario.dag
+        for t, a in result.schedule.assignments.items():
+            for p in dag.parents[t]:
+                assert result.schedule.assignments[p].finish <= a.start + 1e-6
+
+    def test_prefers_primary_when_affordable(self, loose_scenario):
+        result = GreedyScheduler().map(loose_scenario)
+        assert result.t100 == loose_scenario.n_tasks
+
+    def test_deterministic(self, tiny_scenario):
+        a = GreedyScheduler().map(tiny_scenario)
+        b = GreedyScheduler().map(tiny_scenario)
+        assert a.schedule.summary() == b.schedule.summary()
+
+
+class TestCalibrateTau:
+    def test_tau_close_to_greedy_makespan(self, small_scenario):
+        tau = calibrate_tau(small_scenario, slack=1.0)
+        greedy = GreedyScheduler().map(small_scenario)
+        assert tau >= greedy.aet - 1e-9
+        assert tau <= greedy.aet + CYCLE_SECONDS + 1e-9
+
+    def test_slack_scales(self, small_scenario):
+        t1 = calibrate_tau(small_scenario, slack=1.0)
+        t2 = calibrate_tau(small_scenario, slack=2.0)
+        assert t2 > t1 * 1.8
+
+    def test_rounded_to_cycle(self, small_scenario):
+        tau = calibrate_tau(small_scenario, slack=1.3)
+        cycles = tau / CYCLE_SECONDS
+        assert cycles == pytest.approx(round(cycles))
+
+    def test_bad_slack_rejected(self, small_scenario):
+        with pytest.raises(ValueError):
+            calibrate_tau(small_scenario, slack=0.0)
+
+    def test_greedy_feasible_tau_accepts_greedy(self, small_scenario):
+        """A τ calibrated at slack 1 must accept the greedy mapping itself."""
+        tau = calibrate_tau(small_scenario, slack=1.0)
+        result = GreedyScheduler().map(small_scenario.with_tau(tau))
+        assert result.success

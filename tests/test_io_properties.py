@@ -1,0 +1,65 @@
+"""Property-based round-trips for the JSON persistence layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.io.serialization import (
+    mapping_from_dict,
+    mapping_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.workload.scenario import (
+    generate_scenario,
+    paper_scaled_grid,
+    paper_scaled_spec,
+)
+
+_CACHE = {}
+
+
+def _scenario(seed: int, n: int):
+    key = (seed, n)
+    if key not in _CACHE:
+        _CACHE[key] = generate_scenario(
+            paper_scaled_spec(n), grid=paper_scaled_grid(n), seed=seed
+        )
+    return _CACHE[key]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    n=st.integers(min_value=2, max_value=24),
+)
+def test_scenario_roundtrip_any_instance(seed, n):
+    scenario = _scenario(seed, n)
+    restored = scenario_from_dict(scenario_to_dict(scenario))
+    assert np.array_equal(restored.etc, scenario.etc)
+    assert restored.dag.edges() == scenario.dag.edges()
+    assert restored.data_sizes == scenario.data_sizes
+    assert restored.tau == scenario.tau
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=20),
+    alpha10=st.integers(min_value=0, max_value=10),
+)
+def test_mapping_roundtrip_any_weights(seed, alpha10):
+    scenario = _scenario(seed, 14)
+    alpha = alpha10 / 10
+    beta = (1 - alpha) / 2
+    result = SLRH1(
+        SlrhConfig(weights=Weights.from_alpha_beta(alpha, beta))
+    ).map(scenario)
+    restored = mapping_from_dict(mapping_to_dict(result.schedule), scenario)
+    assert restored.t100 == result.t100
+    assert restored.n_mapped == result.schedule.n_mapped
+    assert restored.makespan == result.schedule.makespan
+    assert abs(
+        restored.total_energy_consumed - result.schedule.total_energy_consumed
+    ) < 1e-6

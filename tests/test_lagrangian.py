@@ -1,0 +1,86 @@
+"""Adaptive Lagrangian multiplier controller (extension)."""
+
+import pytest
+
+from repro.core.lagrangian import AdaptiveWeightController, _shift, adaptive_slrh
+from repro.core.objective import Weights
+from repro.core.slrh import SLRH1, SlrhConfig
+
+
+class TestShift:
+    def test_moves_weight(self):
+        w = _shift(Weights(0.4, 0.3, 0.3), "gamma", "alpha", 0.1)
+        assert w.alpha == pytest.approx(0.5)
+        assert w.gamma == pytest.approx(0.2)
+        assert w.beta == pytest.approx(0.3)
+
+    def test_clipped_at_source_zero(self):
+        w = _shift(Weights(0.5, 0.5, 0.0), "gamma", "alpha", 0.2)
+        assert w.alpha == pytest.approx(0.5)
+        assert w.gamma == 0.0
+
+    def test_stays_on_simplex(self):
+        w = _shift(Weights(0.2, 0.4, 0.4), "beta", "gamma", 0.15)
+        assert w.alpha + w.beta + w.gamma == pytest.approx(1.0)
+
+
+class TestControllerProposals:
+    def setup_method(self):
+        self.ctrl = AdaptiveWeightController()
+        self.w = Weights(1 / 3, 1 / 3, 1 / 3)
+
+    def _result(self, small_scenario, complete, within_tau):
+        # Build a real MappingResult then fake the flags via its schedule.
+        result = SLRH1(SlrhConfig(weights=self.w)).map(
+            small_scenario.with_tau(1e9 if within_tau else 1e-3)
+        )
+        return result
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveWeightController(step=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveWeightController(max_iters=0)
+
+    def test_step_shrinks_with_iteration(self, small_scenario):
+        result = SLRH1(SlrhConfig(weights=self.w)).map(small_scenario)
+        w1 = self.ctrl.propose(self.w, result, iteration=1)
+        w5 = self.ctrl.propose(self.w, result, iteration=5)
+        d1 = abs(w1.alpha - self.w.alpha) + abs(w1.beta - self.w.beta)
+        d5 = abs(w5.alpha - self.w.alpha) + abs(w5.beta - self.w.beta)
+        assert d5 <= d1 + 1e-12
+
+
+class TestAdaptiveRun:
+    def test_finds_success_on_feasible_scenario(self, small_scenario):
+        best, history = adaptive_slrh(
+            small_scenario, SLRH1, AdaptiveWeightController(max_iters=6)
+        )
+        assert len(history) == 6
+        assert best.schedule.n_mapped == max(h.schedule.n_mapped for h in history)
+
+    def test_best_is_max_t100_among_successes(self, small_scenario):
+        best, history = adaptive_slrh(
+            small_scenario, SLRH1, AdaptiveWeightController(max_iters=8)
+        )
+        successes = [h for h in history if h.success]
+        if successes:
+            assert best.success
+            assert best.t100 == max(h.t100 for h in successes)
+
+    def test_base_config_respected(self, small_scenario):
+        base = SlrhConfig(
+            weights=Weights(1 / 3, 1 / 3, 1 / 3), delta_t_cycles=20, horizon_cycles=50
+        )
+        best, history = adaptive_slrh(
+            small_scenario, SLRH1,
+            AdaptiveWeightController(max_iters=2), base_config=base,
+        )
+        assert len(history) == 2
+
+    def test_single_iteration(self, tiny_scenario):
+        best, history = adaptive_slrh(
+            tiny_scenario, SLRH1, AdaptiveWeightController(max_iters=1)
+        )
+        assert len(history) == 1
+        assert best is history[0]

@@ -1,0 +1,83 @@
+"""LRNN static Lagrangian-relaxation mapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lrnn import LrnnConfig, LrnnScheduler
+from repro.core.objective import Weights
+from repro.sim.validate import validate_schedule
+
+
+@pytest.fixture(scope="module")
+def config(mid_weights):
+    return LrnnConfig(weights=mid_weights, iterations=20)
+
+
+class TestConfig:
+    def test_validation(self, mid_weights):
+        with pytest.raises(ValueError):
+            LrnnConfig(weights=mid_weights, iterations=0)
+        with pytest.raises(ValueError):
+            LrnnConfig(weights=mid_weights, step=0.0)
+
+
+class TestRelaxedSubproblem:
+    def test_zero_prices_alpha_dominant_prefers_primary(self, small_scenario):
+        sched = LrnnScheduler(LrnnConfig(weights=Weights(1.0, 0.0, 0.0)))
+        machine, version = sched._relaxed_choice(
+            small_scenario, np.zeros(small_scenario.n_machines)
+        )
+        assert (version == 0).all()  # primary everywhere
+
+    def test_beta_dominant_prefers_secondary_on_cheap_machine(self, small_scenario):
+        sched = LrnnScheduler(LrnnConfig(weights=Weights(0.0, 1.0, 0.0)))
+        machine, version = sched._relaxed_choice(
+            small_scenario, np.zeros(small_scenario.n_machines)
+        )
+        assert (version == 1).all()
+        slow = set(small_scenario.grid.slow_indices)
+        assert set(np.unique(machine)) <= slow
+
+    def test_high_price_repels_machine(self, small_scenario, config):
+        sched = LrnnScheduler(config)
+        prices = np.zeros(small_scenario.n_machines)
+        prices[0] = 1e9
+        machine, _ = sched._relaxed_choice(small_scenario, prices)
+        assert 0 not in set(np.unique(machine))
+
+    def test_prices_nonnegative_after_iteration(self, small_scenario, config):
+        sched = LrnnScheduler(config)
+        _, _, prices = sched._iterate_prices(small_scenario)
+        assert (prices >= 0).all()
+
+
+class TestMapping:
+    def test_valid_schedule(self, small_scenario, config):
+        result = LrnnScheduler(config).map(small_scenario)
+        validate_schedule(result.schedule)
+        assert result.heuristic == "LRNN"
+
+    def test_loose_scenario_completes_primary(self, loose_scenario):
+        config = LrnnConfig(weights=Weights.from_alpha_beta(0.8, 0.1))
+        result = LrnnScheduler(config).map(loose_scenario)
+        assert result.complete
+        assert result.t100 == loose_scenario.n_tasks
+
+    def test_deterministic(self, tiny_scenario, config):
+        a = LrnnScheduler(config).map(tiny_scenario)
+        b = LrnnScheduler(config).map(tiny_scenario)
+        assert a.schedule.summary() == b.schedule.summary()
+
+    def test_repair_respects_precedence(self, small_scenario, config):
+        result = LrnnScheduler(config).map(small_scenario)
+        dag = small_scenario.dag
+        for t, a in result.schedule.assignments.items():
+            for p in dag.parents[t]:
+                assert result.schedule.assignments[p].finish <= a.start + 1e-6
+
+    def test_competitive_t100_under_pressure(self, small_scenario, config):
+        """The Lagrangian prices should spread load well enough to map a
+        substantial primary fraction (sanity floor, not a tight claim)."""
+        result = LrnnScheduler(config).map(small_scenario)
+        if result.complete:
+            assert result.t100 >= small_scenario.n_tasks // 4

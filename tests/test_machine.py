@@ -1,0 +1,90 @@
+"""Machine model: Table 2 constants and spec invariants."""
+
+import pytest
+
+from repro.grid.machine import FAST_MACHINE, SLOW_MACHINE, MachineClass, MachineSpec
+from repro.util.units import MEGABIT
+
+
+class TestTable2Constants:
+    def test_fast_battery(self):
+        assert FAST_MACHINE.battery == 580.0
+
+    def test_slow_battery(self):
+        assert SLOW_MACHINE.battery == 58.0
+
+    def test_fast_rates(self):
+        assert FAST_MACHINE.compute_rate == 0.1
+        assert FAST_MACHINE.transmit_rate == 0.2
+
+    def test_slow_rates(self):
+        assert SLOW_MACHINE.compute_rate == 0.001
+        assert SLOW_MACHINE.transmit_rate == 0.002
+
+    def test_bandwidths(self):
+        assert FAST_MACHINE.bandwidth == 8 * MEGABIT
+        assert SLOW_MACHINE.bandwidth == 4 * MEGABIT
+
+    def test_classes(self):
+        assert FAST_MACHINE.machine_class is MachineClass.FAST
+        assert SLOW_MACHINE.machine_class is MachineClass.SLOW
+
+
+class TestSpecValidation:
+    def _spec(self, **kw):
+        base = dict(
+            battery=10.0, compute_rate=0.1, transmit_rate=0.1,
+            bandwidth=1e6, machine_class=MachineClass.FAST,
+        )
+        base.update(kw)
+        return MachineSpec(**base)
+
+    def test_rejects_zero_battery(self):
+        with pytest.raises(ValueError):
+            self._spec(battery=0.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            self._spec(compute_rate=-1.0)
+        with pytest.raises(ValueError):
+            self._spec(transmit_rate=-1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            self._spec(bandwidth=0.0)
+
+
+class TestEnergyHelpers:
+    def test_compute_energy(self):
+        assert FAST_MACHINE.compute_energy(10.0) == pytest.approx(1.0)
+
+    def test_transmit_energy(self):
+        assert FAST_MACHINE.transmit_energy(10.0) == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FAST_MACHINE.compute_energy(-1.0)
+        with pytest.raises(ValueError):
+            FAST_MACHINE.transmit_energy(-0.1)
+
+
+class TestTransforms:
+    def test_renamed_keeps_parameters(self):
+        m = FAST_MACHINE.renamed("alpha")
+        assert m.name == "alpha"
+        assert m.battery == FAST_MACHINE.battery
+        assert m.machine_class is FAST_MACHINE.machine_class
+
+    def test_battery_scale(self):
+        m = FAST_MACHINE.with_battery_scale(0.5)
+        assert m.battery == pytest.approx(290.0)
+        assert m.compute_rate == FAST_MACHINE.compute_rate
+        assert m.bandwidth == FAST_MACHINE.bandwidth
+
+    def test_battery_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FAST_MACHINE.with_battery_scale(0.0)
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            FAST_MACHINE.battery = 1.0  # type: ignore[misc]

@@ -1,0 +1,43 @@
+"""Classic Min-Min baseline (extension)."""
+
+import pytest
+
+from repro.baselines.minmin import MinMinScheduler
+from repro.sim.validate import validate_schedule
+
+
+class TestMinMin:
+    def test_valid_schedule(self, small_scenario):
+        result = MinMinScheduler().map(small_scenario)
+        validate_schedule(result.schedule)
+        assert result.heuristic == "Min-Min"
+
+    def test_loose_scenario_completes(self, loose_scenario):
+        result = MinMinScheduler().map(loose_scenario)
+        assert result.complete
+        assert result.t100 == loose_scenario.n_tasks  # primary when affordable
+
+    def test_deterministic(self, tiny_scenario):
+        a = MinMinScheduler().map(tiny_scenario)
+        b = MinMinScheduler().map(tiny_scenario)
+        assert a.schedule.summary() == b.schedule.summary()
+
+    def test_short_makespan_bias(self, small_scenario):
+        """Min-Min minimises completion times; its makespan should beat an
+        intentionally bad mapping (everything on one slow machine)."""
+        result = MinMinScheduler().map(small_scenario)
+        if not result.complete:
+            pytest.skip("scenario too tight for Min-Min")
+        slow = small_scenario.grid.slow_indices[0]
+        serial_slow = sum(
+            small_scenario.exec_time(t, slow, a.version)
+            for t, a in result.schedule.assignments.items()
+        )
+        assert result.aet < serial_slow
+
+    def test_respects_precedence(self, small_scenario):
+        result = MinMinScheduler().map(small_scenario)
+        dag = small_scenario.dag
+        for t, a in result.schedule.assignments.items():
+            for p in dag.parents[t]:
+                assert result.schedule.assignments[p].finish <= a.start + 1e-6

@@ -1,0 +1,64 @@
+"""Network model: CMT formula, transfer times and energies."""
+
+import pytest
+
+from repro.grid.config import CASE_A, make_case
+from repro.grid.network import NetworkModel
+
+
+@pytest.fixture(scope="module")
+def net():
+    return NetworkModel(CASE_A)
+
+
+class TestCmt:
+    def test_same_machine_free(self, net):
+        assert net.cmt(0, 0) == 0.0
+
+    def test_fast_fast_link(self, net):
+        # min(8, 8) Mbit/s
+        assert net.cmt(0, 1) == pytest.approx(1 / 8e6)
+
+    def test_fast_slow_link_limited_by_slow(self, net):
+        assert net.cmt(0, 2) == pytest.approx(1 / 4e6)
+
+    def test_symmetry(self, net):
+        for i in range(4):
+            for j in range(4):
+                assert net.cmt(i, j) == net.cmt(j, i)
+
+    def test_worst_case_is_min_bandwidth(self, net):
+        assert net.worst_case_cmt == pytest.approx(1 / 4e6)
+
+
+class TestTransfers:
+    def test_transfer_time(self, net):
+        assert net.transfer_time(0, 2, 4e6) == pytest.approx(1.0)
+
+    def test_transfer_time_colocated_zero(self, net):
+        assert net.transfer_time(1, 1, 4e6) == 0.0
+
+    def test_negative_bits_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.transfer_time(0, 1, -1.0)
+        with pytest.raises(ValueError):
+            net.worst_case_transfer_energy(0, -1.0)
+
+    def test_transfer_energy_charged_to_sender(self, net):
+        # 1 s over the 4 Mbit/s link at fast transmit rate 0.2 u/s.
+        assert net.transfer_energy(0, 2, 4e6) == pytest.approx(0.2)
+        # Reverse direction: slow sender at 0.002 u/s.
+        assert net.transfer_energy(2, 0, 4e6) == pytest.approx(0.002)
+
+    def test_worst_case_energy_upper_bounds_actual(self, net):
+        bits = 3e6
+        for src in range(4):
+            wc = net.worst_case_transfer_energy(src, bits)
+            for dst in range(4):
+                assert net.transfer_energy(src, dst, bits) <= wc + 1e-12
+
+
+def test_homogeneous_grid_cmt_uniform():
+    g = make_case(3, 0)
+    net = NetworkModel(g)
+    assert net.cmt(0, 1) == net.cmt(1, 2) == pytest.approx(1 / 8e6)

@@ -1,0 +1,143 @@
+"""Objective function: weights simplex, term normalisation, AET modes."""
+
+import pytest
+
+from repro.core.objective import ObjectiveFunction, Weights
+from repro.sim.schedule import Schedule
+from repro.workload.versions import PRIMARY, SECONDARY
+
+
+class TestWeights:
+    def test_from_alpha_beta(self):
+        w = Weights.from_alpha_beta(0.5, 0.3)
+        assert w.gamma == pytest.approx(0.2)
+
+    def test_simplex_sum_enforced(self):
+        with pytest.raises(ValueError):
+            Weights(0.5, 0.5, 0.5)
+
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            Weights(1.5, -0.5, 0.0)
+
+    def test_alpha_beta_overflow(self):
+        with pytest.raises(ValueError):
+            Weights.from_alpha_beta(0.8, 0.4)
+
+    def test_corners_allowed(self):
+        for corner in [(1, 0), (0, 1), (0, 0)]:
+            Weights.from_alpha_beta(*corner)
+
+    def test_as_tuple(self):
+        assert Weights.from_alpha_beta(0.2, 0.3).as_tuple() == pytest.approx(
+            (0.2, 0.3, 0.5)
+        )
+
+
+@pytest.fixture
+def objective():
+    return ObjectiveFunction(
+        weights=Weights.from_alpha_beta(0.5, 0.3),
+        n_tasks=100,
+        total_system_energy=1000.0,
+        tau=500.0,
+    )
+
+
+class TestValue:
+    def test_empty_state_zero(self, objective):
+        assert objective.value(0, 0.0, 0.0) == pytest.approx(0.0)
+
+    def test_alpha_term(self, objective):
+        assert objective.value(100, 0.0, 0.0) == pytest.approx(0.5)
+
+    def test_beta_term_negative(self, objective):
+        assert objective.value(0, 1000.0, 0.0) == pytest.approx(-0.3)
+
+    def test_gamma_term_peaks_at_tau(self, objective):
+        at_tau = objective.value(0, 0.0, 500.0)
+        below = objective.value(0, 0.0, 400.0)
+        above = objective.value(0, 0.0, 600.0)
+        assert at_tau == pytest.approx(0.2)
+        assert below < at_tau
+        assert above < at_tau  # tent decays past tau
+
+    def test_tent_reaches_zero_at_two_tau(self, objective):
+        assert objective.value(0, 0.0, 1000.0) == pytest.approx(0.0)
+        assert objective.value(0, 0.0, 2000.0) == pytest.approx(0.0)
+
+    def test_bounded_in_unit_interval(self, objective):
+        # With weights on the simplex and all terms normalised, ObjFn
+        # stays within [-1, 1].
+        for t100 in (0, 50, 100):
+            for tec in (0.0, 500.0, 1000.0):
+                for aet in (0.0, 250.0, 500.0, 750.0):
+                    assert -1.0 <= objective.value(t100, tec, aet) <= 1.0
+
+    def test_clamp_mode(self):
+        obj = ObjectiveFunction(
+            weights=Weights(0, 0, 1.0), n_tasks=10,
+            total_system_energy=1.0, tau=100.0, aet_mode="clamp",
+        )
+        assert obj.value(0, 0, 150.0) == pytest.approx(1.0)
+
+    def test_raw_mode(self):
+        obj = ObjectiveFunction(
+            weights=Weights(0, 0, 1.0), n_tasks=10,
+            total_system_energy=1.0, tau=100.0, aet_mode="raw",
+        )
+        assert obj.value(0, 0, 150.0) == pytest.approx(1.5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveFunction(
+                weights=Weights(1, 0, 0), n_tasks=10,
+                total_system_energy=1.0, tau=1.0, aet_mode="bogus",
+            )
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ObjectiveFunction(Weights(1, 0, 0), 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ObjectiveFunction(Weights(1, 0, 0), 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ObjectiveFunction(Weights(1, 0, 0), 1, 1.0, 0.0)
+
+
+class TestAfterPlan:
+    def test_after_plan_matches_commit(self, tiny_scenario, mid_weights):
+        schedule = Schedule(tiny_scenario)
+        objective = ObjectiveFunction.for_scenario(tiny_scenario, mid_weights)
+        root = tiny_scenario.dag.roots[0]
+        plan = schedule.plan(root, PRIMARY, 0)
+        predicted = objective.after_plan(schedule, plan)
+        schedule.commit(plan)
+        assert objective.of_schedule(schedule) == pytest.approx(predicted)
+
+    def test_primary_beats_secondary_alpha_only(self, tiny_scenario):
+        schedule = Schedule(tiny_scenario)
+        objective = ObjectiveFunction.for_scenario(
+            tiny_scenario, Weights(1.0, 0.0, 0.0)
+        )
+        root = tiny_scenario.dag.roots[0]
+        p1 = schedule.plan(root, PRIMARY, 0)
+        p2 = schedule.plan(root, SECONDARY, 0)
+        assert objective.after_plan(schedule, p1) > objective.after_plan(schedule, p2)
+
+    def test_secondary_beats_primary_beta_only(self, tiny_scenario):
+        schedule = Schedule(tiny_scenario)
+        objective = ObjectiveFunction.for_scenario(
+            tiny_scenario, Weights(0.0, 1.0, 0.0)
+        )
+        root = tiny_scenario.dag.roots[0]
+        p1 = schedule.plan(root, PRIMARY, 0)
+        p2 = schedule.plan(root, SECONDARY, 0)
+        assert objective.after_plan(schedule, p2) > objective.after_plan(schedule, p1)
+
+    def test_for_scenario_binds_constants(self, tiny_scenario, mid_weights):
+        obj = ObjectiveFunction.for_scenario(tiny_scenario, mid_weights)
+        assert obj.n_tasks == tiny_scenario.n_tasks
+        assert obj.tau == tiny_scenario.tau
+        assert obj.total_system_energy == pytest.approx(
+            tiny_scenario.grid.total_system_energy
+        )

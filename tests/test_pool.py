@@ -1,0 +1,100 @@
+"""Candidate pool construction, version selection, and ordering."""
+
+import pytest
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.objective import ObjectiveFunction, Weights
+from repro.core.pool import build_candidate_pool, evaluate_versions
+from repro.sim.schedule import Schedule
+from repro.workload.versions import PRIMARY, SECONDARY
+
+
+@pytest.fixture
+def parts(tiny_scenario, mid_weights):
+    schedule = Schedule(tiny_scenario)
+    checker = FeasibilityChecker(tiny_scenario)
+    objective = ObjectiveFunction.for_scenario(tiny_scenario, mid_weights)
+    return schedule, checker, objective
+
+
+class TestEvaluateVersions:
+    def test_returns_candidate(self, parts, tiny_scenario):
+        schedule, _, objective = parts
+        root = tiny_scenario.dag.roots[0]
+        c = evaluate_versions(schedule, objective, root, 0, not_before=0.0)
+        assert c is not None
+        assert c.task == root
+        assert c.version in (PRIMARY, SECONDARY)
+
+    def test_alpha_dominant_selects_primary(self, tiny_scenario):
+        schedule = Schedule(tiny_scenario)
+        objective = ObjectiveFunction.for_scenario(tiny_scenario, Weights(1, 0, 0))
+        root = tiny_scenario.dag.roots[0]
+        c = evaluate_versions(schedule, objective, root, 0, not_before=0.0)
+        assert c.version is PRIMARY
+
+    def test_beta_dominant_selects_secondary(self, tiny_scenario):
+        schedule = Schedule(tiny_scenario)
+        objective = ObjectiveFunction.for_scenario(tiny_scenario, Weights(0, 1, 0))
+        root = tiny_scenario.dag.roots[0]
+        c = evaluate_versions(schedule, objective, root, 0, not_before=0.0)
+        assert c.version is SECONDARY
+
+    def test_score_matches_objective(self, parts, tiny_scenario):
+        schedule, _, objective = parts
+        root = tiny_scenario.dag.roots[0]
+        c = evaluate_versions(schedule, objective, root, 0, not_before=0.0)
+        assert c.score == pytest.approx(objective.after_plan(schedule, c.plan))
+
+
+class TestBuildPool:
+    def test_pool_contains_only_ready(self, parts, tiny_scenario):
+        schedule, checker, objective = parts
+        pool = build_candidate_pool(schedule, checker, objective, 0, not_before=0.0)
+        ready = schedule.ready_tasks()
+        assert {c.task for c in pool} <= ready
+
+    def test_pool_sorted_descending(self, parts):
+        schedule, checker, objective = parts
+        pool = build_candidate_pool(schedule, checker, objective, 0, not_before=0.0)
+        scores = [c.score for c in pool]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_one_candidate_per_task(self, parts):
+        schedule, checker, objective = parts
+        pool = build_candidate_pool(schedule, checker, objective, 0, not_before=0.0)
+        tasks = [c.task for c in pool]
+        assert len(tasks) == len(set(tasks))
+
+    def test_explicit_task_filter(self, parts, tiny_scenario):
+        schedule, checker, objective = parts
+        roots = tiny_scenario.dag.roots
+        pool = build_candidate_pool(
+            schedule, checker, objective, 0, not_before=0.0, tasks=[roots[0]]
+        )
+        assert [c.task for c in pool] == [roots[0]]
+
+    def test_empty_when_all_mapped(self, tiny_scenario, mid_weights):
+        schedule = Schedule(tiny_scenario)
+        checker = FeasibilityChecker(tiny_scenario)
+        objective = ObjectiveFunction.for_scenario(tiny_scenario, mid_weights)
+        for task in tiny_scenario.dag.topological_order:
+            for j in range(tiny_scenario.n_machines):
+                plan = schedule.plan(task, SECONDARY, j, insertion=True)
+                if plan.feasible:
+                    schedule.commit(plan)
+                    break
+        pool = build_candidate_pool(schedule, checker, objective, 0, not_before=0.0)
+        assert pool == []
+
+    def test_deterministic(self, tiny_scenario, mid_weights):
+        def build():
+            schedule = Schedule(tiny_scenario)
+            checker = FeasibilityChecker(tiny_scenario)
+            objective = ObjectiveFunction.for_scenario(tiny_scenario, mid_weights)
+            return [
+                (c.task, c.version.value, c.score)
+                for c in build_candidate_pool(schedule, checker, objective, 0, 0.0)
+            ]
+
+        assert build() == build()

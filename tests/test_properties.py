@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import ObjectiveFunction, Weights
+from repro.sim.timeline import IntervalTimeline, earliest_common_gap
+from repro.workload.dag import DagSpec, generate_dag
+from repro.workload.etc import EtcSpec, generate_etc, min_relative_speed
+from repro.grid.config import CASE_A
+from repro.grid.energy import EnergyLedger
+
+# -- IntervalTimeline ---------------------------------------------------------
+
+intervals_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+    ),
+    max_size=20,
+)
+
+
+def _fill(timeline: IntervalTimeline, raw: list[tuple[float, float]]) -> list:
+    placed = []
+    for start, dur in raw:
+        if timeline.is_free(start, start + dur):
+            timeline.reserve(start, start + dur)
+            placed.append((start, start + dur))
+    return placed
+
+
+@given(intervals_strategy)
+def test_timeline_never_overlaps(raw):
+    tl = IntervalTimeline()
+    _fill(tl, raw)
+    ivs = tl.intervals()
+    for (s1, e1), (s2, e2) in zip(ivs, ivs[1:]):
+        assert e1 <= s2 + 1e-9
+
+
+@given(
+    intervals_strategy,
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+)
+def test_earliest_gap_is_free_and_minimal_constraints(raw, duration, not_before):
+    tl = IntervalTimeline()
+    _fill(tl, raw)
+    t = tl.earliest_gap(duration, not_before=not_before)
+    assert t >= not_before - 1e-9
+    assert tl.is_free(t, t + duration)
+
+
+@given(intervals_strategy, intervals_strategy, st.floats(min_value=0.01, max_value=15.0))
+def test_common_gap_free_in_both(raw_a, raw_b, duration):
+    a, b = IntervalTimeline(), IntervalTimeline()
+    _fill(a, raw_a)
+    _fill(b, raw_b)
+    t = earliest_common_gap(a, b, duration)
+    assert a.is_free(t, t + duration)
+    assert b.is_free(t, t + duration)
+
+
+@given(intervals_strategy)
+def test_reserve_release_roundtrip(raw):
+    tl = IntervalTimeline()
+    placed = _fill(tl, raw)
+    for s, e in placed:
+        tl.release(s, e)
+    assert len(tl) == 0
+
+
+# -- EnergyLedger ---------------------------------------------------------------
+
+debit_sequence = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3), st.floats(min_value=0.0, max_value=50.0)),
+    max_size=30,
+)
+
+
+@given(debit_sequence)
+def test_ledger_never_negative_and_conserves(seq):
+    ledger = EnergyLedger(CASE_A)
+    applied = 0.0
+    for j, amount in seq:
+        if ledger.can_afford(j, amount):
+            ledger.debit(j, amount)
+            applied += amount
+    assert abs(ledger.total_energy_consumed - applied) < 1e-6
+    for j in range(4):
+        assert ledger.remaining(j) >= -1e-9
+
+
+# -- Weights / objective ----------------------------------------------------------
+
+weights_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+).filter(lambda ab: ab[0] + ab[1] <= 1.0)
+
+
+@given(weights_strategy)
+def test_weights_simplex_closed(ab):
+    w = Weights.from_alpha_beta(*ab)
+    assert abs(w.alpha + w.beta + w.gamma - 1.0) < 1e-9
+
+
+@given(
+    weights_strategy,
+    st.integers(min_value=0, max_value=100),
+    st.floats(min_value=0.0, max_value=1000.0),
+    st.floats(min_value=0.0, max_value=2000.0),
+)
+def test_objective_bounded(ab, t100, tec, aet):
+    obj = ObjectiveFunction(
+        weights=Weights.from_alpha_beta(*ab),
+        n_tasks=100,
+        total_system_energy=1000.0,
+        tau=500.0,
+    )
+    v = obj.value(t100, tec, aet)
+    assert -1.0 - 1e-9 <= v <= 1.0 + 1e-9
+
+
+@given(
+    weights_strategy,
+    st.integers(min_value=0, max_value=99),
+    st.floats(min_value=0.0, max_value=900.0),
+)
+def test_objective_monotone_in_t100(ab, t100, tec):
+    obj = ObjectiveFunction(
+        weights=Weights.from_alpha_beta(*ab),
+        n_tasks=100,
+        total_system_energy=1000.0,
+        tau=500.0,
+    )
+    assert obj.value(t100 + 1, tec, 100.0) >= obj.value(t100, tec, 100.0) - 1e-12
+
+
+# -- workload generators -----------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=2**31 - 1))
+def test_generated_dags_always_acyclic_and_complete(n, seed):
+    g = generate_dag(DagSpec(n_tasks=n), seed=seed)
+    assert g.n_tasks == n
+    assert len(g.topological_order) == n
+    for u, v in g.edges():
+        assert u != v
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=50), st.integers(min_value=0, max_value=2**31 - 1))
+def test_etc_positive_and_mr_bounds(n, seed):
+    etc = generate_etc(n, CASE_A, EtcSpec(), seed=seed)
+    assert (etc > 0).all()
+    mr = min_relative_speed(etc)
+    assert mr[0] == 1.0
+    # MR is a minimum of ratios, so each column's ratios dominate it.
+    ratios = etc / etc[:, [0]]
+    assert (ratios + 1e-12 >= mr[None, :]).all()

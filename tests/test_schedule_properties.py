@@ -1,0 +1,118 @@
+"""Property-based stress of the Schedule plan/commit/unassign protocol.
+
+Hypothesis drives randomised action sequences against a small scenario and
+asserts the invariants that no unit test can sweep exhaustively:
+
+* the independent validator accepts the schedule after *every* action;
+* energy is conserved across commit/unassign round trips;
+* held communication reserves are exactly the sum of live edge reserves;
+* the ready set always equals {unmapped tasks with all parents mapped}.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.schedule import Schedule
+from repro.sim.validate import validate_schedule
+from repro.workload.scenario import (
+    generate_scenario,
+    paper_scaled_grid,
+    paper_scaled_spec,
+)
+from repro.workload.versions import PRIMARY, SECONDARY
+
+
+def _scenario(seed: int):
+    return generate_scenario(
+        paper_scaled_spec(10), grid=paper_scaled_grid(10), seed=seed
+    )
+
+
+def _check_invariants(schedule: Schedule) -> None:
+    validate_schedule(schedule)
+    scenario = schedule.scenario
+    # Ready set definition.
+    expected_ready = {
+        t
+        for t in range(scenario.n_tasks)
+        if t not in schedule.assignments
+        and all(p in schedule.assignments for p in scenario.dag.parents[t])
+    }
+    assert schedule.ready_tasks() == frozenset(expected_ready)
+    # Reserve ledger is the sum of per-edge reserves, per machine.
+    per_machine = [0.0] * scenario.n_machines
+    for (parent, _child), held in schedule._edge_reserve.items():
+        per_machine[schedule.assignments[parent].machine] += held
+    for j in range(scenario.n_machines):
+        assert abs(per_machine[j] - schedule.reserved_energy(j)) < 1e-9
+        assert schedule.available_energy(j) <= schedule.energy.remaining(j) + 1e-9
+
+
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["commit", "unassign"]),
+        st.integers(min_value=0, max_value=9),  # task selector
+        st.integers(min_value=0, max_value=3),  # machine selector
+        st.booleans(),  # primary?
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=7), script=actions)
+def test_random_action_sequences_preserve_invariants(seed, script):
+    scenario = _scenario(seed)
+    schedule = Schedule(scenario)
+    for op, task_sel, machine_sel, primary in script:
+        machine = machine_sel % scenario.n_machines
+        if op == "commit":
+            ready = sorted(schedule.ready_tasks())
+            if not ready:
+                continue
+            task = ready[task_sel % len(ready)]
+            version = PRIMARY if primary else SECONDARY
+            plan = schedule.plan(task, version, machine, insertion=True)
+            if plan.feasible:
+                schedule.commit(plan)
+        else:  # unassign a task whose children are unmapped
+            candidates = sorted(
+                t
+                for t in schedule.assignments
+                if all(
+                    c not in schedule.assignments
+                    for c in scenario.dag.children[t]
+                )
+            )
+            if not candidates:
+                continue
+            schedule.unassign(candidates[task_sel % len(candidates)])
+        _check_invariants(schedule)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=7))
+def test_commit_all_then_unassign_all_is_identity(seed):
+    scenario = _scenario(seed)
+    schedule = Schedule(scenario)
+    committed = []
+    for task in scenario.dag.topological_order:
+        for machine in range(scenario.n_machines):
+            plan = schedule.plan(task, SECONDARY, machine, insertion=True)
+            if plan.feasible:
+                schedule.commit(plan)
+                committed.append(task)
+                break
+    for task in reversed(committed):
+        schedule.unassign(task)
+    assert schedule.n_mapped == 0
+    assert schedule.t100 == 0
+    assert schedule.makespan == 0.0
+    assert schedule.total_energy_consumed < 1e-9
+    for j in range(scenario.n_machines):
+        assert abs(schedule.reserved_energy(j)) < 1e-9
+        assert len(schedule.exec_timeline[j]) == 0
+        assert len(schedule.out_channel[j]) == 0
+        assert len(schedule.in_channel[j]) == 0
+    assert schedule.ready_tasks() == frozenset(scenario.dag.roots)

@@ -1,0 +1,71 @@
+"""Seeding discipline: reproducibility and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.util.seeding import as_generator, spawn_generators, spawn_seeds, stable_choice
+
+
+def test_as_generator_from_int_reproducible():
+    a = as_generator(7).random(5)
+    b = as_generator(7).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_as_generator_passthrough():
+    rng = np.random.default_rng(0)
+    assert as_generator(rng) is rng
+
+
+def test_as_generator_none_works():
+    assert as_generator(None).random() >= 0.0
+
+
+def test_spawn_seeds_deterministic():
+    a = [s.generate_state(2).tolist() for s in spawn_seeds(3, 4)]
+    b = [s.generate_state(2).tolist() for s in spawn_seeds(3, 4)]
+    assert a == b
+
+
+def test_spawn_seeds_independent_children():
+    children = spawn_seeds(3, 3)
+    states = [tuple(c.generate_state(4)) for c in children]
+    assert len(set(states)) == 3
+
+
+def test_spawn_seeds_rejects_generator():
+    with pytest.raises(TypeError):
+        spawn_seeds(np.random.default_rng(0), 2)
+
+
+def test_spawn_seeds_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_seeds(0, -1)
+
+
+def test_spawn_seeds_accepts_seedsequence():
+    root = np.random.SeedSequence(9)
+    assert len(spawn_seeds(root, 2)) == 2
+
+
+def test_spawn_generators_distinct_streams():
+    g1, g2 = spawn_generators(0, 2)
+    assert not np.array_equal(g1.random(8), g2.random(8))
+
+
+def test_adding_children_does_not_shift_existing():
+    first_two = [s.generate_state(2).tolist() for s in spawn_seeds(5, 2)]
+    first_of_many = [s.generate_state(2).tolist() for s in spawn_seeds(5, 6)][:2]
+    assert first_two == first_of_many
+
+
+def test_stable_choice_picks_member():
+    rng = as_generator(1)
+    options = ["a", "b", "c"]
+    for _ in range(20):
+        assert stable_choice(rng, options) in options
+
+
+def test_stable_choice_empty_errors():
+    with pytest.raises(ValueError):
+        stable_choice(as_generator(1), [])

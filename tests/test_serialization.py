@@ -1,0 +1,115 @@
+"""JSON round-tripping of scenarios and mappings."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.slrh import SLRH1
+from repro.io.serialization import (
+    load_mapping,
+    load_scenario,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_mapping,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.sim.validate import ValidationError
+
+
+class TestScenarioRoundTrip:
+    def test_lossless(self, small_scenario):
+        restored = scenario_from_dict(scenario_to_dict(small_scenario))
+        assert np.array_equal(restored.etc, small_scenario.etc)
+        assert restored.dag.edges() == small_scenario.dag.edges()
+        assert restored.data_sizes == small_scenario.data_sizes
+        assert restored.tau == small_scenario.tau
+        assert restored.name == small_scenario.name
+        assert len(restored.grid) == len(small_scenario.grid)
+        for a, b in zip(restored.grid, small_scenario.grid):
+            assert a == b
+
+    def test_file_roundtrip(self, small_scenario, tmp_path):
+        path = tmp_path / "scenario.json"
+        save_scenario(small_scenario, path)
+        restored = load_scenario(path)
+        assert np.array_equal(restored.etc, small_scenario.etc)
+
+    def test_document_is_plain_json(self, small_scenario, tmp_path):
+        path = tmp_path / "scenario.json"
+        save_scenario(small_scenario, path)
+        data = json.loads(path.read_text())
+        assert data["kind"] == "scenario"
+
+    def test_wrong_kind_rejected(self, small_scenario):
+        doc = scenario_to_dict(small_scenario)
+        doc["kind"] = "mapping"
+        with pytest.raises(ValueError):
+            scenario_from_dict(doc)
+
+    def test_wrong_format_rejected(self, small_scenario):
+        doc = scenario_to_dict(small_scenario)
+        doc["format"] = 99
+        with pytest.raises(ValueError):
+            scenario_from_dict(doc)
+
+
+class TestMappingRoundTrip:
+    @pytest.fixture(scope="class")
+    def mapped(self, small_scenario, mid_config):
+        return SLRH1(mid_config).map(small_scenario)
+
+    def test_lossless_replay(self, mapped, small_scenario):
+        restored = mapping_from_dict(mapping_to_dict(mapped.schedule), small_scenario)
+        assert restored.n_mapped == mapped.schedule.n_mapped
+        assert restored.t100 == mapped.schedule.t100
+        assert restored.makespan == pytest.approx(mapped.schedule.makespan)
+        assert restored.total_energy_consumed == pytest.approx(
+            mapped.schedule.total_energy_consumed
+        )
+        for t, a in mapped.schedule.assignments.items():
+            b = restored.assignments[t]
+            assert (b.machine, b.version) == (a.machine, a.version)
+            assert b.start == pytest.approx(a.start)
+            assert b.finish == pytest.approx(a.finish)
+
+    def test_file_roundtrip(self, mapped, small_scenario, tmp_path):
+        path = tmp_path / "mapping.json"
+        save_mapping(mapped.schedule, path)
+        restored = load_mapping(path, small_scenario)
+        assert restored.t100 == mapped.t100
+
+    def test_tampered_duration_rejected(self, mapped, small_scenario):
+        doc = mapping_to_dict(mapped.schedule)
+        doc["assignments"][0]["finish"] += 1000.0
+        with pytest.raises((ValidationError, ValueError)):
+            mapping_from_dict(doc, small_scenario)
+
+    def test_tampered_overlap_rejected(self, mapped, small_scenario):
+        doc = mapping_to_dict(mapped.schedule)
+        recs = doc["assignments"]
+        same_machine = [r for r in recs if r["machine"] == recs[0]["machine"]]
+        if len(same_machine) < 2:
+            pytest.skip("need two assignments on one machine")
+        same_machine[1]["start"] = same_machine[0]["start"]
+        same_machine[1]["finish"] = same_machine[0]["finish"]
+        with pytest.raises((ValidationError, ValueError)):
+            mapping_from_dict(doc, small_scenario)
+
+    def test_wrong_kind_rejected(self, mapped, small_scenario):
+        doc = mapping_to_dict(mapped.schedule)
+        doc["kind"] = "scenario"
+        with pytest.raises(ValueError):
+            mapping_from_dict(doc, small_scenario)
+
+    def test_external_debits_roundtrip(self, small_scenario, mid_config):
+        result = SLRH1(mid_config).map(small_scenario)
+        # Debit within whatever the run left on machine 0.
+        amount = result.schedule.energy.remaining(0) / 2
+        result.schedule.debit_external(0, amount)
+        restored = mapping_from_dict(
+            mapping_to_dict(result.schedule), small_scenario
+        )
+        assert restored.external_debits[0] == pytest.approx(amount)

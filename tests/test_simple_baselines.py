@@ -1,0 +1,49 @@
+"""OLB and MET reference mappers."""
+
+import pytest
+
+from repro.baselines.simple import MetScheduler, OlbScheduler
+from repro.sim.validate import validate_schedule
+
+
+@pytest.mark.parametrize("cls", [OlbScheduler, MetScheduler], ids=lambda c: c.name)
+class TestCommon:
+    def test_valid_schedule(self, cls, small_scenario):
+        result = cls().map(small_scenario)
+        validate_schedule(result.schedule)
+        assert result.heuristic == cls.name
+
+    def test_loose_completes_primary(self, cls, loose_scenario):
+        result = cls().map(loose_scenario)
+        assert result.complete
+        assert result.t100 == loose_scenario.n_tasks
+
+    def test_deterministic(self, cls, tiny_scenario):
+        a = cls().map(tiny_scenario)
+        b = cls().map(tiny_scenario)
+        assert a.schedule.summary() == b.schedule.summary()
+
+
+def test_met_prefers_fast_machines(loose_scenario):
+    result = MetScheduler().map(loose_scenario)
+    fast = set(loose_scenario.grid.fast_indices)
+    on_fast = sum(
+        1 for a in result.schedule.assignments.values() if a.machine in fast
+    )
+    # Fast machines win almost every per-task ETC comparison.
+    assert on_fast >= 0.8 * loose_scenario.n_tasks
+
+
+def test_olb_spreads_load(loose_scenario):
+    result = OlbScheduler().map(loose_scenario)
+    machines = {a.machine for a in result.schedule.assignments.values()}
+    # OLB chases idle machines, so it touches all of them.
+    assert machines == set(range(loose_scenario.n_machines))
+
+
+def test_met_vs_olb_differ(small_scenario):
+    met = MetScheduler().map(small_scenario)
+    olb = OlbScheduler().map(small_scenario)
+    a = {(t, x.machine) for t, x in met.schedule.assignments.items()}
+    b = {(t, x.machine) for t, x in olb.schedule.assignments.items()}
+    assert a != b

@@ -1,0 +1,164 @@
+"""IntervalTimeline: reservations, gap search, common-gap search."""
+
+import pytest
+
+from repro.sim.timeline import IntervalTimeline, earliest_common_gap
+
+
+@pytest.fixture
+def tl():
+    return IntervalTimeline()
+
+
+class TestReserve:
+    def test_reserve_and_query(self, tl):
+        tl.reserve(1.0, 2.0)
+        assert not tl.is_free(1.5, 1.8)
+        assert tl.is_free(2.0, 3.0)
+        assert tl.is_free(0.0, 1.0)
+
+    def test_overlap_rejected(self, tl):
+        tl.reserve(1.0, 2.0)
+        with pytest.raises(ValueError):
+            tl.reserve(1.5, 2.5)
+        with pytest.raises(ValueError):
+            tl.reserve(0.5, 1.5)
+        with pytest.raises(ValueError):
+            tl.reserve(0.0, 3.0)
+
+    def test_touching_intervals_ok(self, tl):
+        tl.reserve(1.0, 2.0)
+        tl.reserve(2.0, 3.0)
+        tl.reserve(0.0, 1.0)
+        assert len(tl) == 3
+
+    def test_zero_length_noop(self, tl):
+        tl.reserve(1.0, 1.0)
+        assert len(tl) == 0
+
+    def test_negative_interval_rejected(self, tl):
+        with pytest.raises(ValueError):
+            tl.reserve(2.0, 1.0)
+
+    def test_tail(self, tl):
+        assert tl.tail == 0.0
+        tl.reserve(5.0, 7.0)
+        tl.reserve(1.0, 2.0)
+        assert tl.tail == 7.0
+
+    def test_busy_time(self, tl):
+        tl.reserve(0.0, 2.0)
+        tl.reserve(3.0, 4.5)
+        assert tl.busy_time() == pytest.approx(3.5)
+
+
+class TestRelease:
+    def test_release_exact(self, tl):
+        tl.reserve(1.0, 2.0)
+        tl.release(1.0, 2.0)
+        assert len(tl) == 0
+        assert tl.is_free(1.0, 2.0)
+
+    def test_release_unknown_rejected(self, tl):
+        tl.reserve(1.0, 2.0)
+        with pytest.raises(ValueError):
+            tl.release(1.0, 1.5)
+
+    def test_release_then_rereserve(self, tl):
+        tl.reserve(1.0, 2.0)
+        tl.release(1.0, 2.0)
+        tl.reserve(0.5, 2.5)
+
+    def test_release_zero_length_noop(self, tl):
+        tl.release(1.0, 1.0)
+
+
+class TestEarliestGap:
+    def test_empty_timeline(self, tl):
+        assert tl.earliest_gap(5.0, not_before=3.0) == 3.0
+
+    def test_finds_hole(self, tl):
+        tl.reserve(0.0, 2.0)
+        tl.reserve(5.0, 8.0)
+        assert tl.earliest_gap(3.0, not_before=0.0) == pytest.approx(2.0)
+
+    def test_hole_too_small_skipped(self, tl):
+        tl.reserve(0.0, 2.0)
+        tl.reserve(3.0, 5.0)
+        assert tl.earliest_gap(2.0, not_before=0.0) == pytest.approx(5.0)
+
+    def test_not_before_inside_interval(self, tl):
+        tl.reserve(0.0, 4.0)
+        assert tl.earliest_gap(1.0, not_before=2.0) == pytest.approx(4.0)
+
+    def test_append_only_ignores_holes(self, tl):
+        tl.reserve(0.0, 1.0)
+        tl.reserve(5.0, 6.0)
+        assert tl.earliest_gap(1.0, not_before=0.0, append_only=True) == pytest.approx(6.0)
+
+    def test_zero_duration(self, tl):
+        tl.reserve(0.0, 2.0)
+        t = tl.earliest_gap(0.0, not_before=1.0)
+        assert t == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self, tl):
+        with pytest.raises(ValueError):
+            tl.earliest_gap(-1.0)
+
+    def test_gap_between_many(self, tl):
+        for k in range(10):
+            tl.reserve(2 * k, 2 * k + 1)
+        assert tl.earliest_gap(1.0, not_before=0.5) == pytest.approx(1.0)
+        assert tl.earliest_gap(1.5, not_before=0.0) == pytest.approx(19.0)
+
+
+class TestCommonGap:
+    def test_both_empty(self):
+        a, b = IntervalTimeline(), IntervalTimeline()
+        assert earliest_common_gap(a, b, 2.0, not_before=1.0) == 1.0
+
+    def test_alternating_conflicts(self):
+        a, b = IntervalTimeline(), IntervalTimeline()
+        a.reserve(0.0, 2.0)
+        b.reserve(2.0, 4.0)
+        a.reserve(4.0, 6.0)
+        assert earliest_common_gap(a, b, 1.0) == pytest.approx(6.0)
+
+    def test_shared_hole(self):
+        a, b = IntervalTimeline(), IntervalTimeline()
+        a.reserve(0.0, 1.0)
+        a.reserve(3.0, 9.0)
+        b.reserve(0.0, 2.0)
+        b.reserve(4.0, 9.0)
+        # Common free window of length 1 is [2, 3).
+        assert earliest_common_gap(a, b, 1.0) == pytest.approx(2.0)
+
+    def test_result_is_free_in_both(self):
+        a, b = IntervalTimeline(), IntervalTimeline()
+        for k in range(6):
+            a.reserve(3 * k, 3 * k + 1.5)
+            b.reserve(3 * k + 1, 3 * k + 2.2)
+        d = 0.7
+        t = earliest_common_gap(a, b, d)
+        assert a.is_free(t, t + d)
+        assert b.is_free(t, t + d)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            earliest_common_gap(IntervalTimeline(), IntervalTimeline(), -1.0)
+
+
+def test_copy_is_independent(tl):
+    tl.reserve(0.0, 1.0)
+    dup = tl.copy()
+    dup.reserve(2.0, 3.0)
+    assert len(tl) == 1
+    assert len(dup) == 2
+
+
+def test_has_work_at_or_after(tl):
+    assert not tl.has_work_at_or_after(0.0)
+    tl.reserve(1.0, 2.0)
+    assert tl.has_work_at_or_after(0.0)
+    assert tl.has_work_at_or_after(1.5)
+    assert not tl.has_work_at_or_after(2.0)

@@ -1,0 +1,71 @@
+"""Stateful property testing of IntervalTimeline (hypothesis rule machine).
+
+Random interleavings of reserve / release / query operations against a
+shadow model (a plain list of intervals) — catches ordering bugs the
+example-based tests cannot enumerate.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.sim.timeline import IntervalTimeline
+
+_START = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+_DUR = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+
+
+class TimelineMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.timeline = IntervalTimeline()
+        self.shadow: list[tuple[float, float]] = []
+
+    # -- operations --------------------------------------------------------
+
+    @rule(start=_START, dur=_DUR)
+    def reserve_if_free(self, start, dur):
+        end = start + dur
+        if self.timeline.is_free(start, end):
+            self.timeline.reserve(start, end)
+            self.shadow.append((start, end))
+
+    @precondition(lambda self: self.shadow)
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def release_one(self, index):
+        start, end = self.shadow.pop(index % len(self.shadow))
+        self.timeline.release(start, end)
+
+    @rule(start=_START, dur=_DUR)
+    def gap_is_usable(self, start, dur):
+        t = self.timeline.earliest_gap(dur, not_before=start)
+        assert t >= start - 1e-9
+        assert self.timeline.is_free(t, t + dur)
+        # And actually reservable right now.
+        self.timeline.reserve(t, t + dur)
+        self.timeline.release(t, t + dur)
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def shadow_agrees(self):
+        assert len(self.timeline) == len(self.shadow)
+        expected = sorted(self.shadow)
+        assert self.timeline.intervals() == expected
+
+    @invariant()
+    def busy_time_agrees(self):
+        total = sum(e - s for s, e in self.shadow)
+        assert abs(self.timeline.busy_time() - total) < 1e-6
+
+    @invariant()
+    def no_overlap(self):
+        ivs = self.timeline.intervals()
+        for (s1, e1), (s2, e2) in zip(ivs, ivs[1:]):
+            assert e1 <= s2 + 1e-9
+
+
+TestTimelineStateful = TimelineMachine.TestCase
+TestTimelineStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

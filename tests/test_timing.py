@@ -1,0 +1,52 @@
+"""Stopwatch semantics."""
+
+import pytest
+
+from repro.util.timing import Stopwatch
+
+
+def test_elapsed_accumulates():
+    sw = Stopwatch()
+    with sw:
+        pass
+    first = sw.elapsed
+    with sw:
+        pass
+    assert sw.elapsed >= first
+
+
+def test_double_start_rejected():
+    sw = Stopwatch()
+    sw.start()
+    with pytest.raises(RuntimeError):
+        sw.start()
+    sw.stop()
+
+
+def test_stop_without_start_rejected():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
+
+
+def test_running_flag():
+    sw = Stopwatch()
+    assert not sw.running
+    sw.start()
+    assert sw.running
+    sw.stop()
+    assert not sw.running
+
+
+def test_reset_clears():
+    sw = Stopwatch()
+    with sw:
+        pass
+    sw.reset()
+    assert sw.elapsed == 0.0
+    assert not sw.running
+
+
+def test_context_manager_returns_self():
+    sw = Stopwatch()
+    with sw as inner:
+        assert inner is sw

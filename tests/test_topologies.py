@@ -1,0 +1,182 @@
+"""Structured task-graph families."""
+
+import networkx as nx
+import pytest
+
+from repro.workload.topologies import (
+    TOPOLOGIES,
+    chain,
+    diamond_mesh,
+    fft,
+    fork_join,
+    gaussian_elimination,
+    in_tree,
+    map_reduce,
+    out_tree,
+)
+
+
+class TestChain:
+    def test_structure(self):
+        g = chain(5)
+        assert g.n_tasks == 5
+        assert g.depth == 5
+        assert g.roots == (0,)
+        assert g.leaves == (4,)
+
+    def test_single(self):
+        assert chain(1).n_edges == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        g = fork_join(branches=3, branch_length=2)
+        assert g.n_tasks == 2 + 6
+        assert g.roots == (0,)
+        assert g.leaves == (g.n_tasks - 1,)
+        assert len(g.children[0]) == 3
+        assert len(g.parents[g.n_tasks - 1]) == 3
+
+    def test_depth(self):
+        g = fork_join(branches=4, branch_length=3)
+        assert g.depth == 5  # fork + 3 + join
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            fork_join(0)
+
+
+class TestTrees:
+    def test_out_tree_counts(self):
+        g = out_tree(depth=3, arity=2)
+        assert g.n_tasks == 7
+        assert g.roots == (0,)
+        assert len(g.leaves) == 4
+
+    def test_out_tree_arity_bound(self):
+        g = out_tree(depth=4, arity=3)
+        assert all(len(c) <= 3 for c in g.children)
+
+    def test_in_tree_mirrors_out_tree(self):
+        o = out_tree(depth=3, arity=2)
+        i = in_tree(depth=3, arity=2)
+        assert i.n_tasks == o.n_tasks
+        assert len(i.roots) == len(o.leaves)
+        assert i.leaves == (i.n_tasks - 1,)
+
+    def test_in_tree_reduction_shape(self):
+        g = in_tree(depth=3, arity=2)
+        sink = g.n_tasks - 1
+        assert len(g.parents[sink]) == 2
+
+    def test_depth_one(self):
+        assert out_tree(1).n_tasks == 1
+
+
+class TestDiamondMesh:
+    def test_counts(self):
+        g = diamond_mesh(4)
+        assert g.n_tasks == 16
+        assert g.n_edges == 2 * 4 * 3
+
+    def test_wavefront_depth(self):
+        g = diamond_mesh(5)
+        assert g.depth == 9  # 2·side - 1
+
+    def test_corner_dependencies(self):
+        g = diamond_mesh(3)
+        assert g.roots == (0,)
+        assert g.leaves == (8,)
+        assert set(g.parents[4]) == {1, 3}
+
+
+class TestFft:
+    def test_counts(self):
+        g = fft(8)
+        assert g.n_tasks == 4 * 8  # (log2(8)+1) ranks
+        assert g.depth == 4
+
+    def test_butterfly_parents(self):
+        g = fft(4)
+        # Rank-1 node i depends on rank-0 nodes i and i^1.
+        assert set(g.parents[4]) == {0, 1}
+        assert set(g.parents[5]) == {0, 1}
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft(6)
+        with pytest.raises(ValueError):
+            fft(1)
+
+
+class TestGaussianElimination:
+    def test_counts(self):
+        g = gaussian_elimination(4)
+        # steps k=0..2 contribute 1 + (4-k-1) tasks: 4 + 3 + 2 = 9.
+        assert g.n_tasks == 9
+
+    def test_pivot_chain_depth(self):
+        g = gaussian_elimination(5)
+        # pivot->update->pivot->... alternation: depth 2·(size-1).
+        assert g.depth == 2 * 4
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            gaussian_elimination(1)
+
+
+class TestMapReduce:
+    def test_structure(self):
+        g = map_reduce(mappers=4, reducers=2)
+        assert g.n_tasks == 7
+        assert len(g.children[0]) == 4
+        for r in (5, 6):
+            assert len(g.parents[r]) == 4
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_all_topologies_are_dags(name):
+    build = TOPOLOGIES[name]
+    kwargs = {
+        "chain": dict(n_tasks=6),
+        "fork_join": dict(branches=3),
+        "out_tree": dict(depth=3),
+        "in_tree": dict(depth=3),
+        "diamond_mesh": dict(side=3),
+        "fft": dict(points=4),
+        "gaussian_elimination": dict(size=4),
+        "map_reduce": dict(mappers=3),
+    }[name]
+    g = build(**kwargs)
+    assert nx.is_directed_acyclic_graph(g.to_networkx())
+    # ids increase along edges (valid topological labelling).
+    assert all(u < v for u, v in g.edges())
+
+
+def test_topologies_schedulable(tiny_scenario):
+    """A structured DAG slots into the normal scenario pipeline."""
+    from repro.core.slrh import SLRH1, SlrhConfig
+    from repro.core.objective import Weights
+    from repro.workload.data import generate_data_sizes
+    from repro.workload.scenario import Scenario
+    from repro.sim.validate import validate_schedule
+    import numpy as np
+
+    g = diamond_mesh(3)
+    rng = np.random.default_rng(0)
+    etc = np.abs(rng.gamma(4.0, 5.0, size=(g.n_tasks, tiny_scenario.n_machines))) + 1.0
+    scenario = Scenario(
+        grid=tiny_scenario.grid,
+        etc=etc,
+        dag=g,
+        data_sizes=generate_data_sizes(g, seed=1),
+        tau=1e9,
+        name="mesh",
+    )
+    result = SLRH1(SlrhConfig(weights=Weights.from_alpha_beta(0.6, 0.2))).map(scenario)
+    assert result.complete
+    validate_schedule(result.schedule, require_complete=True)

@@ -1,0 +1,43 @@
+"""Mapping trace bookkeeping."""
+
+from repro.core.slrh import SLRH1
+from repro.sim.trace import MappingTrace
+
+
+def test_counters():
+    trace = MappingTrace()
+    trace.note_tick()
+    trace.note_tick()
+    trace.note_machine_scan()
+    trace.note_empty_pool()
+    assert trace.ticks == 2
+    assert trace.machine_scans == 1
+    assert trace.empty_pool_ticks == 1
+
+
+def test_commits_per_tick_zero_when_no_ticks():
+    assert MappingTrace().commits_per_tick() == 0.0
+
+
+def test_records_populated_by_run(small_scenario, mid_config):
+    result = SLRH1(mid_config).map(small_scenario)
+    trace = result.trace
+    assert trace.n_commits == result.schedule.n_mapped
+    assert trace.ticks >= 1
+    assert 0 < trace.commits_per_tick() <= small_scenario.n_machines * 100
+
+
+def test_record_fields_reflect_schedule(small_scenario, mid_config):
+    result = SLRH1(mid_config).map(small_scenario)
+    last = result.trace.records[-1]
+    assert last.t100 == result.t100
+    assert last.tec == result.tec
+    assert last.aet == result.aet
+    tasks = {r.task for r in result.trace.records}
+    assert tasks == set(result.schedule.assignments)
+
+
+def test_records_monotone_clock(small_scenario, mid_config):
+    result = SLRH1(mid_config).map(small_scenario)
+    clocks = [r.clock for r in result.trace.records]
+    assert clocks == sorted(clocks)

@@ -1,0 +1,32 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.util.units import (
+    CYCLE_SECONDS,
+    MEGABIT,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+
+
+def test_cycle_is_paper_tenth_second():
+    assert CYCLE_SECONDS == pytest.approx(0.1)
+
+
+def test_megabit_constant():
+    assert MEGABIT == 1e6
+
+
+def test_cycles_to_seconds():
+    assert cycles_to_seconds(10) == pytest.approx(1.0)
+    assert cycles_to_seconds(0) == 0.0
+
+
+def test_seconds_to_cycles():
+    assert seconds_to_cycles(1.0) == pytest.approx(10.0)
+
+
+def test_roundtrip():
+    for v in (0.0, 1.0, 13.7, 34075.0):
+        assert cycles_to_seconds(seconds_to_cycles(v)) == pytest.approx(v)

@@ -1,0 +1,150 @@
+"""Equivalent-computing-cycles upper bound (§VI)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.upper_bound import upper_bound
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.baselines.greedy import GreedyScheduler
+from repro.core.objective import Weights
+from repro.workload.scenario import paper_scaled_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return paper_scaled_suite(48, n_etc=2, n_dag=1, seed=0)
+
+
+class TestBoundStructure:
+    def test_bounded_by_n_tasks(self, suite):
+        for case in "ABC":
+            r = upper_bound(suite.scenario(0, 0, case))
+            assert 0 <= r.t100_bound <= 48
+
+    def test_min_ratios_reference_one(self, suite):
+        r = upper_bound(suite.scenario(0, 0, "A"))
+        assert r.min_ratios[0] == pytest.approx(1.0)
+
+    def test_tecc_formula(self, suite):
+        sc = suite.scenario(0, 0, "A")
+        r = upper_bound(sc)
+        assert r.tecc == pytest.approx(float(np.sum(sc.tau / r.min_ratios)))
+
+    def test_limiting_resource_label(self, suite):
+        for case in "ABC":
+            r = upper_bound(suite.scenario(0, 0, case))
+            assert r.limiting_resource in ("none", "cycles", "energy")
+            if r.t100_bound == 48:
+                assert r.limiting_resource == "none"
+
+    def test_resources_never_negative(self, suite):
+        for case in "ABC":
+            r = upper_bound(suite.scenario(0, 0, case))
+            assert r.cycles_remaining >= -1e-6
+            assert r.energy_remaining >= -1e-6
+
+    def test_case_c_not_above_case_a(self, suite):
+        a = upper_bound(suite.scenario(0, 0, "A")).t100_bound
+        c = upper_bound(suite.scenario(0, 0, "C")).t100_bound
+        assert c <= a
+
+
+class TestBoundDominance:
+    """The bound must dominate what actual mappers achieve."""
+
+    def test_dominates_slrh(self, suite):
+        for case in "ABC":
+            sc = suite.scenario(0, 0, case)
+            bound = upper_bound(sc).t100_bound
+            result = SLRH1(SlrhConfig(weights=Weights.from_alpha_beta(0.5, 0.2))).map(sc)
+            if result.success:
+                assert result.t100 <= bound
+
+    def test_dominates_greedy(self, suite):
+        sc = suite.scenario(1, 0, "A")
+        bound = upper_bound(sc).t100_bound
+        result = GreedyScheduler().map(sc)
+        if result.complete and result.aet <= sc.tau:
+            assert result.t100 <= bound
+
+
+class TestStrictBound:
+    """The LP-relaxation bound (extension; see upper_bound_strict)."""
+
+    def test_dominates_paper_bound_sometimes_not_needed(self, suite):
+        from repro.bounds.upper_bound import upper_bound_strict
+
+        for case in "ABC":
+            sc = suite.scenario(0, 0, case)
+            strict = upper_bound_strict(sc)
+            assert 0 <= strict <= sc.n_tasks
+
+    def test_dominates_all_heuristics(self, suite):
+        from repro.bounds.upper_bound import upper_bound_strict
+
+        for case in "ABC":
+            sc = suite.scenario(0, 0, case)
+            strict = upper_bound_strict(sc)
+            for ab in [(1.0, 0.0), (0.5, 0.2), (0.3, 0.4)]:
+                r = SLRH1(SlrhConfig(weights=Weights.from_alpha_beta(*ab))).map(sc)
+                assert r.t100 <= strict
+
+    def test_paper_bound_violation_instance(self):
+        """The §VI construction is *not* a true bound: on tight-τ instances
+        it undercounts (min-energy machine ≠ min-cycles machine).  The
+        strict LP bound must dominate on the same instance."""
+        from repro.baselines.greedy import calibrate_tau
+        from repro.bounds.upper_bound import upper_bound_strict
+        from repro.workload.data import generate_data_sizes
+        from repro.workload.etc import generate_etc
+        from repro.workload.scenario import Scenario, paper_scaled_grid
+        from repro.workload.topologies import fft
+
+        dag = fft(16)
+        grid = paper_scaled_grid(dag.n_tasks)
+        scenario = Scenario(
+            grid=grid,
+            etc=generate_etc(dag.n_tasks, grid, seed=21),
+            dag=dag,
+            data_sizes=generate_data_sizes(dag, seed=22),
+            tau=1.0,
+            name="fft-bound",
+        )
+        scenario = scenario.with_tau(calibrate_tau(scenario, slack=1.6))
+        strict = upper_bound_strict(scenario)
+        result = SLRH1(SlrhConfig(weights=Weights.from_alpha_beta(0.5, 0.2))).map(
+            scenario
+        )
+        # The strict bound always dominates the achieved T100...
+        assert result.t100 <= strict
+        # ...whereas the §VI construction is allowed to fall below it
+        # (documented divergence; not asserted as it depends on draws).
+
+    def test_zero_tau_like_budget(self, suite):
+        from repro.bounds.upper_bound import upper_bound_strict
+
+        sc = suite.scenario(0, 0, "A").with_tau(1e-6)
+        assert upper_bound_strict(sc) == 0
+
+
+class TestScaling:
+    def test_longer_tau_never_lowers_bound(self, suite):
+        sc = suite.scenario(0, 0, "C")
+        lo = upper_bound(sc.with_tau(sc.tau * 0.25)).t100_bound
+        hi = upper_bound(sc).t100_bound
+        assert lo <= hi
+
+    def test_tiny_tau_gives_small_bound(self, suite):
+        sc = suite.scenario(0, 0, "A")
+        r = upper_bound(sc.with_tau(20.0))
+        assert r.t100_bound < 48
+        assert r.limiting_resource == "cycles"
+
+    def test_alternative_reference_still_sane(self, suite):
+        sc = suite.scenario(0, 0, "A")
+        # A different reference machine changes MR/TECC scaling; the bound
+        # must remain structurally valid (the exact count may shift since
+        # per-machine minima are taken over different ratio distributions).
+        r = upper_bound(sc, reference=1)
+        assert 0 <= r.t100_bound <= sc.n_tasks
+        assert r.min_ratios[1] == pytest.approx(1.0)

@@ -1,0 +1,55 @@
+"""Primary/secondary version semantics (the 10 % rule)."""
+
+import pytest
+
+from repro.workload.versions import (
+    BOTH_VERSIONS,
+    PRIMARY,
+    SECONDARY,
+    SECONDARY_FRACTION,
+    Version,
+)
+
+
+def test_secondary_fraction_is_ten_percent():
+    assert SECONDARY_FRACTION == pytest.approx(0.1)
+
+
+def test_scales():
+    assert PRIMARY.scale == 1.0
+    assert SECONDARY.scale == pytest.approx(0.1)
+
+
+def test_t100_counting():
+    assert PRIMARY.counts_toward_t100
+    assert not SECONDARY.counts_toward_t100
+
+
+def test_both_versions_order_prefers_primary():
+    assert BOTH_VERSIONS == (PRIMARY, SECONDARY)
+
+
+def test_enum_roundtrip():
+    assert Version("primary") is PRIMARY
+    assert Version("secondary") is SECONDARY
+
+
+def test_scenario_version_scaling(tiny_scenario):
+    t = 0
+    for j in range(tiny_scenario.n_machines):
+        primary = tiny_scenario.exec_time(t, j, PRIMARY)
+        secondary = tiny_scenario.exec_time(t, j, SECONDARY)
+        assert secondary == pytest.approx(0.1 * primary)
+        assert tiny_scenario.compute_energy(t, j, SECONDARY) == pytest.approx(
+            0.1 * tiny_scenario.compute_energy(t, j, PRIMARY)
+        )
+
+
+def test_scenario_data_scaling(tiny_scenario):
+    edges = tiny_scenario.dag.edges()
+    if not edges:
+        pytest.skip("generated DAG has no edges")
+    u, v = edges[0]
+    assert tiny_scenario.data_bits(u, v, SECONDARY) == pytest.approx(
+        0.1 * tiny_scenario.data_bits(u, v, PRIMARY)
+    )
