@@ -45,6 +45,10 @@ class MaxMaxConfig:
     insertion: bool = True
     #: AET-term semantics of the objective (ablation; see ObjectiveFunction).
     aet_mode: str = "tent"
+    #: Reuse tentative plans across rounds when the state they depend on is
+    #: unchanged (see the plan cache in :mod:`repro.sim.schedule`).  Mapping
+    #: results are identical either way; disabling is for benchmarking.
+    plan_cache: bool = True
     #: Machine-stage selection rule.  ``"completion"`` (default) assigns
     #: each candidate (subtask, version) its minimum-completion-time
     #: machine, mirroring the [IbK77] Min-Min structure the paper says
@@ -65,7 +69,7 @@ class MaxMaxScheduler:
         self.config = config
 
     def map(self, scenario: Scenario) -> MappingResult:
-        schedule = Schedule(scenario)
+        schedule = Schedule(scenario, plan_cache=self.config.plan_cache)
         checker = FeasibilityChecker(scenario, comm_reserve=self.config.comm_reserve)
         objective = ObjectiveFunction.for_scenario(
             scenario, self.config.weights, aet_mode=self.config.aet_mode
@@ -142,6 +146,9 @@ class MaxMaxScheduler:
                     tec=schedule.total_energy_consumed,
                     aet=schedule.makespan,
                 )
+        schedule.perf.inc("map.runs")
+        schedule.perf.inc("map.seconds", stopwatch.elapsed)
+        trace.perf = schedule.perf.snapshot()
         return MappingResult(
             schedule=schedule,
             trace=trace,

@@ -21,7 +21,7 @@ output volume), so U may hold *both* versions of one subtask (§V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.sim.schedule import Schedule
 from repro.workload.scenario import Scenario
@@ -36,6 +36,9 @@ class FeasibilityChecker:
     #: Include the worst-case outgoing-communication reserve in rule (b).
     #: Disabling this is an ablation, not paper behaviour.
     comm_reserve: bool = True
+    #: Memo for :meth:`required_energy` — a pure function of the (static)
+    #: scenario, so entries never invalidate.
+    _required: dict = field(default_factory=dict, repr=False, compare=False)
 
     def worst_case_comm_energy(self, task: int, machine: int, version: Version) -> float:
         """Energy to push *task*'s outputs (at *version*) from *machine*
@@ -48,10 +51,14 @@ class FeasibilityChecker:
 
     def required_energy(self, task: int, machine: int, version: Version) -> float:
         """Execution energy at *version* plus (optionally) the comm reserve."""
-        energy = self.scenario.compute_energy(task, machine, version)
-        if self.comm_reserve:
-            energy += self.worst_case_comm_energy(task, machine, version)
-        return energy
+        key = (task, machine, version)
+        cached = self._required.get(key)
+        if cached is None:
+            cached = self.scenario.compute_energy(task, machine, version)
+            if self.comm_reserve:
+                cached += self.worst_case_comm_energy(task, machine, version)
+            self._required[key] = cached
+        return cached
 
     def is_feasible(
         self,

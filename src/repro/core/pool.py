@@ -62,7 +62,20 @@ def evaluate_versions(
         if not plan.feasible:
             continue
         score = objective.after_plan(schedule, plan)
-        if best is None or score > best.score:
+        # Explicit tie rule: on equal score prefer the version that counts
+        # toward T100 (the primary) — equal objective at lower resource
+        # commitment never loses T100.  Spelled out (rather than relying on
+        # plan_versions yielding the primary first) so a reordering of the
+        # evaluation loop cannot silently flip version choices.
+        if (
+            best is None
+            or score > best.score
+            or (
+                score == best.score
+                and plan.version.counts_toward_t100
+                and not best.version.counts_toward_t100
+            )
+        ):
             best = Candidate(task=task, plan=plan, score=score)
     return best
 
@@ -94,18 +107,21 @@ def build_candidate_pool(
         tasks = schedule.ready_tasks()
     scenario = schedule.scenario
     pool: list[Candidate] = []
-    for task in tasks:
-        # A subtask the grid has not yet *seen* (release time in the
-        # future) cannot enter the pool — the dynamic heuristic has no
-        # advance knowledge of it (§IV).
-        if scenario.release(task) > not_before + 1e-9:
-            continue
-        if not checker.is_feasible(schedule, task, machine, SECONDARY):
-            continue
-        candidate = evaluate_versions(
-            schedule, objective, task, machine, not_before, insertion=insertion
-        )
-        if candidate is not None:
-            pool.append(candidate)
-    pool.sort(key=lambda c: (-c.score, c.task))
+    with schedule.perf.timer("phase.pool_seconds"):
+        for task in tasks:
+            # A subtask the grid has not yet *seen* (release time in the
+            # future) cannot enter the pool — the dynamic heuristic has no
+            # advance knowledge of it (§IV).
+            if scenario.release(task) > not_before + 1e-9:
+                continue
+            if not checker.is_feasible(schedule, task, machine, SECONDARY):
+                continue
+            candidate = evaluate_versions(
+                schedule, objective, task, machine, not_before, insertion=insertion
+            )
+            if candidate is not None:
+                pool.append(candidate)
+        pool.sort(key=lambda c: (-c.score, c.task))
+    schedule.perf.inc("pool.builds")
+    schedule.perf.inc("pool.members", len(pool))
     return pool

@@ -4,20 +4,30 @@ Usage::
 
     python -m repro.experiments [--scale smoke|small|medium|paper]
                                 [--only tables|fig2|fig3|fig4|fig5|fig6|fig7]
-                                [--out PATH]
+                                [--out PATH] [--jobs N] [--perf-out PATH]
 
 Prints every table and figure the paper reports (at the selected scale) and
 optionally writes the combined report to a file.  Figures 3-7 share one
 cached weight-optimisation study, so requesting several of them costs
 little more than one.
+
+When the weight-optimisation study runs, its merged performance counters
+(plan-cache hit rates, pool sizes, per-phase wall time — see
+:mod:`repro.perf`) are written as JSON next to the benchmark artefacts:
+``benchmarks/out/perf_<scale>.json`` by default, or ``--perf-out PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import pathlib
 import sys
 import time
+
+from repro.experiments.comparison import run_comparison
+from repro.perf import write_perf_json
+from repro.util.parallel import resolve_jobs
 
 from repro.experiments import (
     figure2_delta_t_sweep,
@@ -78,18 +88,45 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the weight-search study (default: "
         "$REPRO_JOBS or serial)",
     )
+    parser.add_argument(
+        "--perf-out", default=None,
+        help="where to write the perf-counter JSON (default: "
+        "benchmarks/out/perf_<scale>.json; '-' disables)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error(f"--jobs must be >= 1, got {args.jobs}")
         os.environ["REPRO_JOBS"] = str(args.jobs)
 
     scale = _PRESETS[args.scale] if args.scale else scale_from_env()
     start = time.perf_counter()
     report = build_report(scale, args.only)
-    report += f"\n\ngenerated in {time.perf_counter() - start:.1f}s"
+    elapsed = time.perf_counter() - start
+    report += f"\n\ngenerated in {elapsed:.1f}s"
     print(report)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report + "\n")
+
+    # The comparison study (figures 3-7 / tables) is memoised: if any of
+    # those sections ran above, this re-read is free and its counters
+    # describe exactly the work done.  Fig2-only runs have no study.
+    if args.perf_out != "-" and set(args.only) & {
+        "tables", "fig3", "fig4", "fig5", "fig6", "fig7"
+    }:
+        results = run_comparison(scale)
+        path = pathlib.Path(args.perf_out or f"benchmarks/out/perf_{scale.name}.json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_perf_json(
+            path,
+            results.perf_snapshot(),
+            scale=scale.name,
+            jobs=resolve_jobs(None),
+            wall_seconds=elapsed,
+            command="python -m repro.experiments",
+        )
+        print(f"perf counters written to {path}")
     return 0
 
 

@@ -10,17 +10,25 @@ name) and the figure drivers slice it.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
 from repro.bounds.upper_bound import upper_bound
 from repro.core.objective import Weights
-from repro.core.slrh import SLRH1, SLRH2, SLRH3, MappingResult, SlrhConfig
+from repro.core.slrh import (
+    MIN_TIMED_SECONDS,
+    SLRH1,
+    SLRH2,
+    SLRH3,
+    MappingResult,
+    SlrhConfig,
+)
 from repro.experiments.reporting import mean_std
 from repro.experiments.scale import ExperimentScale, SMALL_SCALE
+from repro.perf import merge_snapshots
 from repro.tuning.weight_search import WeightSearchResult, search_weights
+from repro.util.parallel import resolve_jobs
 
 CASES = ("A", "B", "C")
 
@@ -28,17 +36,33 @@ CASES = ("A", "B", "C")
 PLOTTED_HEURISTICS = ("SLRH-1", "SLRH-3", "Max-Max")
 
 
-def make_factory(heuristic: str):
+_SLRH_CLASSES = {"SLRH-1": SLRH1, "SLRH-2": SLRH2, "SLRH-3": SLRH3}
+
+
+@dataclass(frozen=True)
+class HeuristicFactory:
+    """Weight-point → runnable heuristic, for the §VII search.
+
+    A plain dataclass (not a lambda) so it pickles: worker processes of
+    the parallel weight search receive the factory itself.
+    """
+
+    heuristic: str
+
+    def __call__(self, w: Weights):
+        cls = _SLRH_CLASSES.get(self.heuristic)
+        if cls is not None:
+            return cls(SlrhConfig(weights=w))
+        if self.heuristic == "Max-Max":
+            return MaxMaxScheduler(MaxMaxConfig(weights=w))
+        raise KeyError(f"unknown heuristic {self.heuristic!r}")
+
+
+def make_factory(heuristic: str) -> HeuristicFactory:
     """Weight-point → runnable heuristic, for the §VII search."""
-    if heuristic == "SLRH-1":
-        return lambda w: SLRH1(SlrhConfig(weights=w))
-    if heuristic == "SLRH-2":
-        return lambda w: SLRH2(SlrhConfig(weights=w))
-    if heuristic == "SLRH-3":
-        return lambda w: SLRH3(SlrhConfig(weights=w))
-    if heuristic == "Max-Max":
-        return lambda w: MaxMaxScheduler(MaxMaxConfig(weights=w))
-    raise KeyError(f"unknown heuristic {heuristic!r}")
+    if heuristic not in _SLRH_CLASSES and heuristic != "Max-Max":
+        raise KeyError(f"unknown heuristic {heuristic!r}")
+    return HeuristicFactory(heuristic)
 
 
 @dataclass(frozen=True)
@@ -57,6 +81,9 @@ class HeuristicScenarioOutcome:
     heuristic_seconds: float
     ub: int
     evaluations: int
+    #: Perf-counter snapshot summed over the cell's whole weight search
+    #: (see :mod:`repro.perf`); travels back from worker processes.
+    perf: dict = field(default_factory=dict, compare=False)
 
     @property
     def vs_bound(self) -> float:
@@ -64,10 +91,14 @@ class HeuristicScenarioOutcome:
 
     @property
     def value_metric(self) -> float:
-        """Figure 7: T100 per second of heuristic execution time."""
-        if self.heuristic_seconds <= 0:
-            return float("nan")
-        return self.t100 / self.heuristic_seconds
+        """Figure 7: T100 per second of heuristic execution time.
+
+        Like :meth:`MappingResult.value_per_second`, the denominator is
+        clamped to the timer resolution so a sub-tick mapping yields a
+        large *finite* value — never the ``inf``/``nan`` that the
+        hardened :func:`~repro.experiments.reporting.mean_std` rejects.
+        """
+        return self.t100 / max(self.heuristic_seconds, MIN_TIMED_SECONDS)
 
 
 @dataclass
@@ -133,6 +164,13 @@ class ComparisonResults:
     def heuristics(self) -> list[str]:
         return sorted({h for (h, _) in self.cells}, key=_heuristic_order)
 
+    def perf_snapshot(self) -> dict[str, float]:
+        """Perf counters (see :mod:`repro.perf`) summed over every cell's
+        weight search — the payload of the CLI's perf JSON artefact."""
+        return merge_snapshots(
+            o.perf for cell in self.cells.values() for o in cell.outcomes
+        )
+
 
 def _heuristic_order(name: str) -> tuple:
     order = {"SLRH-1": 0, "SLRH-2": 1, "SLRH-3": 2, "Max-Max": 3}
@@ -152,7 +190,7 @@ def _search_to_outcome(
             heuristic=heuristic, case=case, etc=etc, dag=dag,
             succeeded=False, alpha=float("nan"), beta=float("nan"),
             t100=0, aet=float("nan"), heuristic_seconds=float("nan"),
-            ub=ub, evaluations=ws.evaluations,
+            ub=ub, evaluations=ws.evaluations, perf=ws.perf,
         )
     best: MappingResult = ws.best_result
     w: Weights = best.weights
@@ -161,7 +199,7 @@ def _search_to_outcome(
         succeeded=True, alpha=w.alpha, beta=w.beta,
         t100=best.t100, aet=best.aet,
         heuristic_seconds=best.heuristic_seconds,
-        ub=ub, evaluations=ws.evaluations,
+        ub=ub, evaluations=ws.evaluations, perf=ws.perf,
     )
 
 
@@ -183,6 +221,9 @@ def _solve_cell(
         coarse_step=scale.coarse_step,
         fine_step=scale.fine_step,
         fine=scale.fine,
+        # The comparison parallelises over cells; pin the inner weight
+        # search to serial so an inherited REPRO_JOBS cannot nest pools.
+        n_jobs=1,
     )
     return _search_to_outcome(heuristic, case, e, d, ws, ub)
 
@@ -202,10 +243,7 @@ def run_comparison(
     if heuristics is None:
         heuristics = PLOTTED_HEURISTICS + (("SLRH-2",) if scale.include_slrh2 else ())
         heuristics = tuple(sorted(set(heuristics), key=_heuristic_order))
-    if n_jobs is None:
-        n_jobs = int(os.environ.get("REPRO_JOBS", "1"))
-    if n_jobs < 1:
-        raise ValueError("n_jobs must be >= 1")
+    n_jobs = resolve_jobs(n_jobs)
     return _run_comparison_cached(scale, tuple(heuristics), n_jobs)
 
 

@@ -6,6 +6,7 @@ report; :func:`format_table` keeps the output aligned and diff-friendly.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 
@@ -41,9 +42,21 @@ def format_table(
 
 
 def mean_std(values: Sequence[float]) -> tuple[float, float]:
-    """Sample mean and (population) standard deviation; (nan, nan) if empty."""
+    """Sample mean and (population) standard deviation; (nan, nan) if empty.
+
+    Raises
+    ------
+    ValueError
+        If any input is non-finite.  A single ``inf`` or ``nan`` silently
+        poisons every aggregate it is averaged into (this corrupted the
+        Figure 7 value-metric report when a sub-tick mapping produced an
+        infinite T100/second) — fail loudly at the source instead.
+    """
     if not values:
         return (float("nan"), float("nan"))
+    for v in values:
+        if not math.isfinite(v):
+            raise ValueError(f"non-finite value {v!r} in aggregate input")
     n = len(values)
     mean = sum(values) / n
     var = sum((v - mean) ** 2 for v in values) / n

@@ -26,6 +26,12 @@ class EnergyLedger:
         self.grid = grid
         self._capacity = np.array([m.battery for m in grid], dtype=float)
         self._consumed = np.zeros(len(grid), dtype=float)
+        self._tse = float(self._capacity.sum())
+        # Memoised TEC (None = dirty): the objective reads TEC once per
+        # candidate plan, far more often than debits invalidate it.  The
+        # dirty-flag recompute keeps np.sum's exact summation order, so
+        # cached and uncached runs see bit-identical aggregates.
+        self._tec: float | None = 0.0
 
     # -- queries ----------------------------------------------------------
 
@@ -40,12 +46,14 @@ class EnergyLedger:
     @property
     def total_system_energy(self) -> float:
         """TSE = Σ_j B(j)."""
-        return float(self._capacity.sum())
+        return self._tse
 
     @property
     def total_energy_consumed(self) -> float:
         """TEC = Σ_j EC(j)."""
-        return float(self._consumed.sum())
+        if self._tec is None:
+            self._tec = float(self._consumed.sum())
+        return self._tec
 
     def can_afford(self, j: int, energy: float) -> bool:
         """Whether machine *j* has at least *energy* units left.
@@ -74,6 +82,7 @@ class EnergyLedger:
                 f"energy units; {self.remaining(j):.6g} remaining"
             )
         self._consumed[j] += energy
+        self._tec = None
 
     def credit(self, j: int, energy: float) -> None:
         """Refund *energy* units on machine *j* (used when an assignment is
@@ -86,6 +95,7 @@ class EnergyLedger:
                 f"{self._consumed[j]:.6g} on machine {j}"
             )
         self._consumed[j] = max(0.0, self._consumed[j] - energy)
+        self._tec = None
 
     def snapshot(self) -> np.ndarray:
         """A copy of the per-machine consumption vector."""
@@ -96,8 +106,10 @@ class EnergyLedger:
         if snapshot.shape != self._consumed.shape:
             raise ValueError("snapshot shape mismatch")
         self._consumed[:] = snapshot
+        self._tec = None
 
     def copy(self) -> "EnergyLedger":
         dup = EnergyLedger(self.grid)
         dup._consumed[:] = self._consumed
+        dup._tec = None
         return dup

@@ -1,0 +1,142 @@
+"""Performance counter registry.
+
+The ROADMAP north star is a mapper that runs "as fast as the hardware
+allows"; you cannot steer that without measuring it.  :class:`PerfCounters`
+is a tiny flat registry of named ``float`` accumulators shared by the hot
+paths (plan-cache hits/misses, plans computed, pool sizes, per-phase wall
+time).  Every :class:`~repro.sim.schedule.Schedule` owns one; heuristics
+snapshot it into :class:`~repro.sim.trace.MappingTrace` at the end of a
+mapping, and the experiment drivers merge the snapshots upward so a whole
+weight-search study (possibly spread over worker processes) reduces to one
+JSON artefact next to the ``benchmarks/out/`` outputs.
+
+Counter namespace (dotted, flat):
+
+``plan.pairs``
+    (task, machine) plan pairs computed from scratch (the hot path).
+``plan.cache.comm_hit`` / ``plan.cache.comm_miss``
+    Comm-plan reuse — the channel-slot search was skipped / re-run.
+``plan.cache.pair_hit`` / ``plan.cache.pair_miss``
+    Full plan-pair reuse (comm plan *and* exec/energy verdicts).
+``pool.builds`` / ``pool.members``
+    Candidate pools built and their total membership.
+``commit.count`` / ``unassign.count``
+    Schedule mutations.
+``phase.pool_seconds`` / ``phase.commit_seconds`` / ``map.seconds``
+    Wall time per phase and per whole mapping; ``map.runs`` counts
+    mappings merged into a snapshot.
+
+The registry is deliberately schema-free: unknown counters merge like any
+other.  :func:`write_perf_json` pins the on-disk schema (documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterable, Mapping
+
+#: On-disk schema identifier written by :func:`write_perf_json`.
+PERF_SCHEMA = "repro.perf/1"
+
+
+class PerfCounters:
+    """A flat registry of named float accumulators."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, float] | None = None) -> None:
+        self._values: dict[str, float] = dict(values) if values else {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add *amount* to counter *name* (creating it at 0)."""
+        self._values[name] = self._values.get(name, 0.0) + amount
+
+    @contextmanager
+    def timer(self, name: str):
+        """Accumulate the wall time of the ``with`` body into *name*."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.inc(name, time.perf_counter() - started)
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def snapshot(self) -> dict[str, float]:
+        """An independent copy of the current counter values."""
+        return dict(self._values)
+
+    # -- combining ---------------------------------------------------------
+
+    def merge(self, other: "PerfCounters | Mapping[str, float]") -> "PerfCounters":
+        """Add every counter of *other* into this registry; returns self."""
+        values = other._values if isinstance(other, PerfCounters) else other
+        for name, amount in values.items():
+            self._values[name] = self._values.get(name, 0.0) + amount
+        return self
+
+    def clear(self) -> None:
+        self._values.clear()
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, float]]) -> dict[str, float]:
+    """Sum an iterable of counter snapshots into one."""
+    total = PerfCounters()
+    for snap in snapshots:
+        if snap:
+            total.merge(snap)
+    return total.snapshot()
+
+
+def hit_rate(counters: Mapping[str, float], prefix: str) -> float:
+    """``<prefix>_hit / (<prefix>_hit + <prefix>_miss)`` (NaN when unused)."""
+    hits = counters.get(f"{prefix}_hit", 0.0)
+    misses = counters.get(f"{prefix}_miss", 0.0)
+    total = hits + misses
+    return hits / total if total else float("nan")
+
+
+def comm_reuse_rate(counters: Mapping[str, float]) -> float:
+    """Fraction of comm-plan lookups that skipped the channel-slot search
+    (cache hit or shift replay); NaN when the cache was unused."""
+    hits = counters.get("plan.cache.comm_hit", 0.0)
+    shifts = counters.get("plan.cache.comm_shift", 0.0)
+    misses = counters.get("plan.cache.comm_miss", 0.0)
+    total = hits + shifts + misses
+    return (hits + shifts) / total if total else float("nan")
+
+
+def write_perf_json(path, counters: Mapping[str, float], **context) -> dict:
+    """Write *counters* (plus derived hit rates and *context* metadata) to
+    *path* using the :data:`PERF_SCHEMA` layout; returns the document."""
+    doc = {
+        "schema": PERF_SCHEMA,
+        "context": dict(context),
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "derived": {
+            "plan_cache_comm_hit_rate": hit_rate(counters, "plan.cache.comm"),
+            "plan_cache_pair_hit_rate": hit_rate(counters, "plan.cache.pair"),
+            # A comm *shift* (replaying the cached transfer train at a
+            # later clock) also skips the channel-slot search, so reuse =
+            # (hit + shift) / (hit + shift + miss).
+            "plan_cache_comm_reuse_rate": comm_reuse_rate(counters),
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, allow_nan=True)
+        fh.write("\n")
+    return doc

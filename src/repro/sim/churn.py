@@ -122,7 +122,7 @@ def run_with_churn(
     for ev in events:
         if not 0 <= ev.machine < scenario.n_machines:
             raise IndexError(f"no machine {ev.machine}")
-    schedule = Schedule(scenario)
+    schedule = Schedule(scenario, plan_cache=scheduler.config.plan_cache)
     ordered = sorted(events, key=lambda e: e.cycle)
 
     records: list[ChurnRecord] = []
@@ -177,4 +177,8 @@ def _merge_trace(acc, trace):
     acc.ticks += trace.ticks
     acc.machine_scans += trace.machine_scans
     acc.empty_pool_ticks += trace.empty_pool_ticks
+    # Each segment snapshots the shared schedule's perf registry, which is
+    # cumulative over the schedule's lifetime — the latest snapshot is the
+    # whole-run total, not an increment.
+    acc.perf = trace.perf
     return acc

@@ -25,12 +25,28 @@ _EPS = 1e-9
 
 
 class IntervalTimeline:
-    """Sorted set of non-overlapping half-open busy intervals."""
+    """Sorted set of non-overlapping half-open busy intervals.
 
-    __slots__ = ("_busy",)
+    Every successful mutation bumps :attr:`version`, a monotonically
+    increasing counter; :meth:`release` additionally bumps
+    :attr:`release_version`.  The plan cache in
+    :class:`~repro.sim.schedule.Schedule` keys cached channel-slot searches
+    on the versions of the timelines they read, so invalidation is exactly
+    as wide as the calendars a commit actually touched.  The split counter
+    lets the cache exploit that :meth:`reserve` only ever *adds* busyness:
+    while ``release_version`` is unchanged, a cached slot that is still
+    free is still the earliest fit, no matter how many reservations landed
+    elsewhere.
+    """
+
+    __slots__ = ("_busy", "version", "release_version")
 
     def __init__(self) -> None:
         self._busy: list[tuple[float, float]] = []
+        #: Mutation counter — incremented by :meth:`reserve` / :meth:`release`.
+        self.version: int = 0
+        #: Counts :meth:`release` calls only (frees can open earlier slots).
+        self.release_version: int = 0
 
     # -- queries ----------------------------------------------------------
 
@@ -60,6 +76,12 @@ class IntervalTimeline:
         if i + 1 < len(self._busy) and self._busy[i + 1][0] < end - _EPS:
             return False
         return True
+
+    def next_busy_start_after(self, t: float) -> float:
+        """Start of the first busy interval beginning strictly after *t*
+        (``inf`` when none) — the end of the free window around a slot."""
+        i = bisect_right(self._busy, (t, float("inf")))
+        return self._busy[i][0] if i < len(self._busy) else float("inf")
 
     def has_work_at_or_after(self, t: float) -> bool:
         """Whether any busy interval ends after *t* (i.e. the resource is
@@ -111,6 +133,7 @@ class IntervalTimeline:
         if not self.is_free(start, end):
             raise ValueError(f"interval [{start}, {end}) overlaps existing reservation")
         insort(self._busy, (start, end))
+        self.version += 1
 
     def release(self, start: float, end: float) -> None:
         """Remove a previously reserved interval (exact match required)."""
@@ -121,6 +144,8 @@ class IntervalTimeline:
             s, e = self._busy[i]
             if abs(s - start) <= _EPS and abs(e - end) <= _EPS:
                 del self._busy[i]
+                self.version += 1
+                self.release_version += 1
                 return
             if s > start + _EPS:
                 break
@@ -130,6 +155,8 @@ class IntervalTimeline:
     def copy(self) -> "IntervalTimeline":
         dup = IntervalTimeline()
         dup._busy = list(self._busy)
+        dup.version = self.version
+        dup.release_version = self.release_version
         return dup
 
 

@@ -39,6 +39,10 @@ class MappingTrace:
     ticks: int = 0
     empty_pool_ticks: int = 0
     machine_scans: int = 0
+    #: Performance-counter snapshot (see :mod:`repro.perf`) taken when the
+    #: heuristic finished; cumulative over the schedule's lifetime when one
+    #: schedule is mapped in several segments (churn).
+    perf: dict = field(default_factory=dict)
 
     def note_tick(self) -> None:
         self.ticks += 1

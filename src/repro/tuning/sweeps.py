@@ -19,6 +19,7 @@ from typing import Sequence
 
 from repro.core.objective import Weights
 from repro.core.slrh import SlrhConfig, SlrhScheduler
+from repro.util.parallel import parallel_starmap
 from repro.workload.scenario import Scenario
 
 #: ΔT values (cycles) swept by default — log-ish ladder around the paper's 10.
@@ -67,12 +68,18 @@ def sweep_delta_t(
     weights: Weights,
     values: Sequence[int] = DEFAULT_DELTA_T_VALUES,
     horizon: int = 100,
+    n_jobs: int | None = None,
 ) -> list[DeltaTSweepPoint]:
-    """Figure 2's x-axis sweep: vary ΔT at fixed H."""
-    return [
-        _run_point(scheduler_cls, scenario, weights, delta_t=v, horizon=horizon)
-        for v in values
-    ]
+    """Figure 2's x-axis sweep: vary ΔT at fixed H.
+
+    Each point is an independent from-scratch mapping, so ``n_jobs``
+    (default ``$REPRO_JOBS``, else serial) fans them over a process pool.
+    """
+    return parallel_starmap(
+        _run_point,
+        [(scheduler_cls, scenario, weights, v, horizon) for v in values],
+        n_jobs=n_jobs,
+    )
 
 
 def sweep_tau_slack(
@@ -82,20 +89,29 @@ def sweep_tau_slack(
     slacks: Sequence[float] = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0),
     delta_t: int = 10,
     horizon: int = 100,
+    n_jobs: int | None = None,
 ) -> list[DeltaTSweepPoint]:
     """How tight can τ get before the heuristic stops completing?
 
     An extension sweep (the paper fixes τ): each point re-runs the
     heuristic with the scenario's τ multiplied by a slack factor.  The
     returned points carry the slack ×100 as their integer ``value`` (so a
-    slack of 1.25 reports as 125).
+    slack of 1.25 reports as 125).  ``n_jobs`` as in :func:`sweep_delta_t`.
     """
-    points = []
     for slack in slacks:
         if slack <= 0:
             raise ValueError(f"slack must be positive, got {slack}")
-        scaled = scenario.with_tau(scenario.tau * slack)
-        p = _run_point(scheduler_cls, scaled, weights, delta_t=delta_t, horizon=horizon)
+    raw = parallel_starmap(
+        _run_point,
+        [
+            (scheduler_cls, scenario.with_tau(scenario.tau * slack), weights,
+             delta_t, horizon)
+            for slack in slacks
+        ],
+        n_jobs=n_jobs,
+    )
+    points = []
+    for slack, p in zip(slacks, raw):
         points.append(
             DeltaTSweepPoint(
                 value=int(round(slack * 100)),
@@ -142,11 +158,17 @@ def sweep_horizon(
     weights: Weights,
     values: Sequence[int] = DEFAULT_HORIZON_VALUES,
     delta_t: int = 10,
+    n_jobs: int | None = None,
 ) -> list[DeltaTSweepPoint]:
-    """The companion H sweep (paper: negligible impact)."""
+    """The companion H sweep (paper: negligible impact).  ``n_jobs`` as in
+    :func:`sweep_delta_t`."""
+    raw = parallel_starmap(
+        _run_point,
+        [(scheduler_cls, scenario, weights, delta_t, v) for v in values],
+        n_jobs=n_jobs,
+    )
     points = []
-    for v in values:
-        p = _run_point(scheduler_cls, scenario, weights, delta_t=delta_t, horizon=v)
+    for v, p in zip(values, raw):
         # Re-label the swept value: _run_point stores ΔT by default.
         points.append(
             DeltaTSweepPoint(

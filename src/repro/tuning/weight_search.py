@@ -29,6 +29,8 @@ from typing import Callable, Protocol
 
 from repro.core.objective import Weights
 from repro.core.slrh import MappingResult
+from repro.perf import merge_snapshots
+from repro.util.parallel import parallel_starmap, resolve_jobs
 from repro.workload.scenario import Scenario
 
 
@@ -80,6 +82,9 @@ class WeightSearchResult:
     accepted: list[tuple[float, float, int]] = field(default_factory=list)
     evaluations: int = 0
     coarse_evaluations: int = 0
+    #: Performance counters (see :mod:`repro.perf`) summed over every
+    #: mapping the search evaluated, across worker processes.
+    perf: dict = field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:
@@ -106,12 +111,22 @@ def _key(result: MappingResult, alpha: float, beta: float):
     return (-result.t100, result.aet, alpha, beta)
 
 
+def _evaluate_point(
+    scenario: Scenario, factory: SchedulerFactory, alpha: float, beta: float
+) -> MappingResult:
+    """One weight-point evaluation — module-level so worker processes can
+    run it (*factory* must then be picklable, e.g.
+    :func:`repro.experiments.comparison.make_factory`'s output)."""
+    return factory(Weights.from_alpha_beta(alpha, beta)).map(scenario)
+
+
 def search_weights(
     scenario: Scenario,
     factory: SchedulerFactory,
     coarse_step: float = 0.1,
     fine_step: float = 0.02,
     fine: bool = True,
+    n_jobs: int | None = None,
 ) -> WeightSearchResult:
     """Run the §VII two-stage (α, β) optimisation.
 
@@ -125,36 +140,46 @@ def search_weights(
     fine:
         Skip the refinement stage when ``False`` (cheaper sweeps for the
         reduced-scale benchmarks).
+    n_jobs:
+        Worker processes per stage (each stage's grid points are
+        independent mappings).  Defaults to ``$REPRO_JOBS`` else serial;
+        results are identical at any job count — the merge below walks
+        the results in grid order, reproducing the serial best/tie logic.
     """
+    n_jobs = resolve_jobs(n_jobs)
     out = WeightSearchResult(best_weights=None, best_result=None)
     best_key = None
     best_point: tuple[float, float] | None = None
     evaluated: set[tuple[float, float]] = set()
+    perf_snapshots: list[dict] = []
 
-    def evaluate(alpha: float, beta: float) -> None:
+    def run_stage(points: list[tuple[float, float]]) -> None:
         nonlocal best_key, best_point
-        if (alpha, beta) in evaluated:
-            return
-        evaluated.add((alpha, beta))
-        weights = Weights.from_alpha_beta(alpha, beta)
-        result = factory(weights).map(scenario)
-        out.evaluations += 1
-        if not result.success:
-            return
-        out.accepted.append((alpha, beta, result.t100))
-        key = _key(result, alpha, beta)
-        if best_key is None or key < best_key:
-            best_key = key
-            best_point = (alpha, beta)
-            out.best_weights = weights
-            out.best_result = result
+        points = [p for p in points if p not in evaluated]
+        evaluated.update(points)
+        results = parallel_starmap(
+            _evaluate_point,
+            [(scenario, factory, a, b) for a, b in points],
+            n_jobs=n_jobs,
+        )
+        for (alpha, beta), result in zip(points, results):
+            out.evaluations += 1
+            perf_snapshots.append(result.trace.perf)
+            if not result.success:
+                continue
+            out.accepted.append((alpha, beta, result.t100))
+            key = _key(result, alpha, beta)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_point = (alpha, beta)
+                out.best_weights = result.weights
+                out.best_result = result
 
-    for alpha, beta in simplex_grid(coarse_step):
-        evaluate(alpha, beta)
+    run_stage(simplex_grid(coarse_step))
     out.coarse_evaluations = out.evaluations
 
     if fine and best_point is not None:
-        for alpha, beta in _refinement_grid(best_point, span=coarse_step, step=fine_step):
-            evaluate(alpha, beta)
+        run_stage(_refinement_grid(best_point, span=coarse_step, step=fine_step))
 
+    out.perf = merge_snapshots(perf_snapshots)
     return out

@@ -1,0 +1,62 @@
+"""Process-pool fan-out shared by the experiment and tuning drivers.
+
+Every study in :mod:`repro.experiments` and :mod:`repro.tuning` is an
+embarrassingly parallel grid — independent (heuristic, scenario,
+weight-point) cells, each reproducible from its own
+``SeedSequence.spawn`` stream — so fanning them over a
+:class:`~concurrent.futures.ProcessPoolExecutor` is safe by construction.
+The worker count comes from an explicit ``n_jobs`` argument, else the
+``REPRO_JOBS`` environment variable (the CLI's ``--jobs`` flag sets it),
+else 1; ``n_jobs == 1`` runs serially in-process with no executor, so the
+serial path stays exactly the pre-parallel code path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def resolve_jobs(n_jobs: int | None = None) -> int:
+    """Effective worker count: *n_jobs*, else ``$REPRO_JOBS``, else 1."""
+    if n_jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if raw:
+            try:
+                n_jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {raw!r}"
+                ) from None
+        else:
+            n_jobs = 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    return n_jobs
+
+
+def parallel_starmap(
+    fn: Callable[..., T],
+    argtuples: Iterable[Sequence],
+    n_jobs: int | None = None,
+    chunksize: int | None = None,
+) -> list[T]:
+    """Order-preserving ``[fn(*args) for args in argtuples]``, fanned over
+    a process pool when the effective job count exceeds 1.
+
+    *fn* and every argument must be picklable (module-level functions,
+    plain dataclasses).  Results come back in input order, so callers can
+    keep the deterministic merge logic of their serial loops.
+    """
+    argtuples = [tuple(args) for args in argtuples]
+    n_jobs = resolve_jobs(n_jobs)
+    if n_jobs == 1 or len(argtuples) <= 1:
+        return [fn(*args) for args in argtuples]
+    from concurrent.futures import ProcessPoolExecutor
+
+    if chunksize is None:
+        chunksize = max(1, len(argtuples) // (4 * n_jobs))
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        return list(pool.map(fn, *zip(*argtuples), chunksize=chunksize))

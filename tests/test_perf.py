@@ -1,0 +1,109 @@
+"""Tests for the performance-counter registry (:mod:`repro.perf`)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.core.slrh import SLRH1, SlrhConfig
+from repro.perf import (
+    PERF_SCHEMA,
+    PerfCounters,
+    comm_reuse_rate,
+    hit_rate,
+    merge_snapshots,
+    write_perf_json,
+)
+
+
+class TestPerfCounters:
+    def test_inc_creates_and_accumulates(self):
+        c = PerfCounters()
+        assert "x" not in c
+        c.inc("x")
+        c.inc("x", 2.5)
+        assert c.get("x") == 3.5
+        assert "x" in c
+        assert len(c) == 1
+
+    def test_timer_accumulates_wall_time(self):
+        c = PerfCounters()
+        with c.timer("t"):
+            pass
+        with c.timer("t"):
+            pass
+        assert c.get("t") >= 0.0
+        assert len(c) == 1
+
+    def test_snapshot_is_independent_copy(self):
+        c = PerfCounters({"a": 1.0})
+        snap = c.snapshot()
+        c.inc("a")
+        assert snap == {"a": 1.0}
+        assert c.get("a") == 2.0
+
+    def test_merge_adds_counters(self):
+        c = PerfCounters({"a": 1.0, "b": 2.0})
+        c.merge(PerfCounters({"a": 10.0, "c": 3.0}))
+        c.merge({"b": 0.5})
+        assert c.snapshot() == {"a": 11.0, "b": 2.5, "c": 3.0}
+
+    def test_clear(self):
+        c = PerfCounters({"a": 1.0})
+        c.clear()
+        assert len(c) == 0
+
+
+class TestAggregation:
+    def test_merge_snapshots(self):
+        merged = merge_snapshots([{"a": 1.0}, {}, {"a": 2.0, "b": 1.0}])
+        assert merged == {"a": 3.0, "b": 1.0}
+
+    def test_hit_rate(self):
+        counters = {"plan.cache.pair_hit": 3.0, "plan.cache.pair_miss": 1.0}
+        assert hit_rate(counters, "plan.cache.pair") == 0.75
+        assert math.isnan(hit_rate({}, "plan.cache.pair"))
+
+    def test_comm_reuse_rate_counts_shifts(self):
+        counters = {
+            "plan.cache.comm_hit": 2.0,
+            "plan.cache.comm_shift": 2.0,
+            "plan.cache.comm_miss": 4.0,
+        }
+        assert comm_reuse_rate(counters) == 0.5
+        assert math.isnan(comm_reuse_rate({}))
+
+
+class TestWritePerfJson:
+    def test_schema_layout(self, tmp_path):
+        path = tmp_path / "perf.json"
+        counters = {
+            "plan.pairs": 10.0,
+            "plan.cache.comm_hit": 6.0,
+            "plan.cache.comm_miss": 2.0,
+        }
+        doc = write_perf_json(path, counters, scale="SMOKE", jobs=2)
+        on_disk = json.loads(path.read_text())
+        assert on_disk.keys() == doc.keys() == {"schema", "context", "counters", "derived"}
+        assert on_disk["counters"] == doc["counters"]
+        assert doc["schema"] == PERF_SCHEMA
+        assert doc["context"] == {"scale": "SMOKE", "jobs": 2}
+        assert doc["counters"] == counters
+        assert doc["derived"]["plan_cache_comm_hit_rate"] == 0.75
+        assert doc["derived"]["plan_cache_comm_reuse_rate"] == 0.75
+        # pair cache unused here -> NaN survives the JSON round trip
+        assert math.isnan(doc["derived"]["plan_cache_pair_hit_rate"])
+
+
+class TestTraceIntegration:
+    def test_mapping_snapshots_counters(self, tiny_scenario, mid_weights):
+        result = SLRH1(SlrhConfig(weights=mid_weights)).map(tiny_scenario)
+        perf = result.perf
+        assert perf["map.runs"] == 1.0
+        assert perf["plan.pairs"] > 0
+        assert perf["commit.count"] == len(result.schedule.assignments)
+        assert perf["map.seconds"] > 0.0
+        # Snapshot, not a live view: mutating the schedule's registry
+        # afterwards must not change the trace.
+        result.schedule.perf.inc("plan.pairs", 1000.0)
+        assert result.perf["plan.pairs"] == perf["plan.pairs"]

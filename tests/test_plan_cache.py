@@ -1,0 +1,138 @@
+"""Plan-cache correctness: cached and uncached planning must be
+indistinguishable.
+
+The cache (see ``DESIGN.md`` and :class:`repro.sim.schedule.Schedule`)
+only ever reuses a tentative plan when it can prove a fresh computation
+would return byte-identical results, so every heuristic must produce the
+same mapping — same T100/TEC/AET, same assignment set, same transfer
+trains — with the cache on or off.  These differential tests pin that,
+including churn runs whose rollbacks exercise the invalidation paths
+(releases, offline flips, parent-epoch bumps).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
+from repro.core.slrh import SLRH1, SLRH2, SLRH3, SlrhConfig
+from repro.sim.churn import ChurnEvent, run_with_churn
+from repro.sim.schedule import Schedule
+from repro.sim.validate import validate_schedule
+from repro.workload.scenario import paper_scaled_suite
+
+
+def _slrh_factory(cls):
+    def build(weights, plan_cache):
+        return cls(SlrhConfig(weights=weights, plan_cache=plan_cache))
+
+    build.__name__ = cls.name
+    return build
+
+
+def _maxmax_factory(weights, plan_cache):
+    return MaxMaxScheduler(MaxMaxConfig(weights=weights, plan_cache=plan_cache))
+
+
+HEURISTICS = [
+    pytest.param(_slrh_factory(SLRH1), id="SLRH-1"),
+    pytest.param(_slrh_factory(SLRH2), id="SLRH-2"),
+    pytest.param(_slrh_factory(SLRH3), id="SLRH-3"),
+    pytest.param(_maxmax_factory, id="Max-Max"),
+]
+
+
+def _strip_timing(summary: dict) -> dict:
+    return {k: v for k, v in summary.items() if k != "heuristic_seconds"}
+
+
+def _assert_identical(res_on, res_off):
+    assert _strip_timing(res_on.summary()) == _strip_timing(res_off.summary())
+    # Assignment-level equality: same tasks, versions, machines, exec
+    # windows and planned transfer trains (Assignment is a frozen
+    # dataclass, so == compares every field including comms).
+    assert res_on.schedule.assignments == res_off.schedule.assignments
+    validate_schedule(res_on.schedule)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("build", HEURISTICS)
+    def test_cache_on_off_identical(self, build, small_scenario, mid_weights):
+        res_on = build(mid_weights, True).map(small_scenario)
+        res_off = build(mid_weights, False).map(small_scenario)
+        assert res_on.schedule.plan_cache_enabled
+        assert not res_off.schedule.plan_cache_enabled
+        _assert_identical(res_on, res_off)
+
+    @pytest.mark.parametrize("build", HEURISTICS)
+    def test_cache_on_off_identical_across_seeds(self, build, mid_weights):
+        suite = paper_scaled_suite(20, n_etc=2, n_dag=1, seed=99)
+        for e in range(suite.n_etc):
+            for case in ("A", "C"):
+                scenario = suite.scenario(e, 0, case)
+                res_on = build(mid_weights, True).map(scenario)
+                res_off = build(mid_weights, False).map(scenario)
+                _assert_identical(res_on, res_off)
+
+    @pytest.mark.parametrize(
+        "cls", [SLRH1, SLRH3], ids=lambda c: c.name
+    )
+    def test_churn_machine_loss_identical(self, cls, small_scenario, mid_weights):
+        """Loss + rejoin rollbacks hit every invalidation path: timeline
+        releases, offline flips, unassign's parent-epoch bumps."""
+        quarter = int(small_scenario.tau / 4 / 0.1)
+        events = [
+            ChurnEvent(cycle=quarter, machine=0, kind="loss"),
+            ChurnEvent(cycle=2 * quarter, machine=0, kind="join"),
+            ChurnEvent(cycle=2 * quarter + 5, machine=1, kind="loss"),
+        ]
+        outcomes = {}
+        for plan_cache in (True, False):
+            scheduler = cls(SlrhConfig(weights=mid_weights, plan_cache=plan_cache))
+            outcomes[plan_cache] = run_with_churn(
+                small_scenario, scheduler, list(events)
+            )
+        _assert_identical(outcomes[True].final, outcomes[False].final)
+        assert [r.rolled_back for r in outcomes[True].records] == [
+            r.rolled_back for r in outcomes[False].records
+        ]
+
+    def test_cache_records_reuse(self, small_scenario, mid_weights):
+        res_on = SLRH3(SlrhConfig(weights=mid_weights, plan_cache=True)).map(
+            small_scenario
+        )
+        res_off = SLRH3(SlrhConfig(weights=mid_weights, plan_cache=False)).map(
+            small_scenario
+        )
+        perf_on, perf_off = res_on.perf, res_off.perf
+        reused = (
+            perf_on.get("plan.cache.pair_hit", 0)
+            + perf_on.get("plan.cache.comm_hit", 0)
+            + perf_on.get("plan.cache.comm_shift", 0)
+        )
+        assert reused > 0, "cache-on run never reused a plan"
+        assert "plan.cache.pair_hit" not in perf_off
+        # Off-path plans every lookup from scratch; on-path must plan fewer.
+        assert perf_on["plan.pairs"] < perf_off["plan.pairs"]
+
+
+class TestCacheKnobs:
+    def test_env_knob_disables(self, tiny_scenario, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "0")
+        assert not Schedule(tiny_scenario).plan_cache_enabled
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "1")
+        assert Schedule(tiny_scenario).plan_cache_enabled
+
+    def test_explicit_arg_beats_env(self, tiny_scenario, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "0")
+        assert Schedule(tiny_scenario, plan_cache=True).plan_cache_enabled
+
+    def test_commit_drops_cached_task(self, tiny_scenario, mid_weights):
+        from repro.workload.versions import PRIMARY
+
+        schedule = Schedule(tiny_scenario, plan_cache=True)
+        root = tiny_scenario.dag.roots[0]
+        plan = schedule.plan(root, PRIMARY, 0)
+        assert root in schedule._plan_cache
+        schedule.commit(plan)
+        assert root not in schedule._plan_cache

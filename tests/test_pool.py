@@ -46,6 +46,24 @@ class TestEvaluateVersions:
         c = evaluate_versions(schedule, objective, root, 0, not_before=0.0)
         assert c.score == pytest.approx(objective.after_plan(schedule, c.plan))
 
+    def test_equal_scores_prefer_primary(self, parts, tiny_scenario, monkeypatch):
+        """The explicit tie rule: on equal objective the version counting
+        toward T100 wins, even if the evaluation order is flipped."""
+        schedule, _, objective = parts
+        root = tiny_scenario.dag.roots[0]
+        monkeypatch.setattr(
+            type(objective), "after_plan", lambda self, sched, plan: 0.0
+        )
+        original = type(schedule).plan_versions
+        monkeypatch.setattr(
+            type(schedule),
+            "plan_versions",
+            lambda self, *a, **kw: tuple(reversed(original(self, *a, **kw))),
+        )
+        c = evaluate_versions(schedule, objective, root, 0, not_before=0.0)
+        assert c.score == 0.0
+        assert c.version is PRIMARY
+
 
 class TestBuildPool:
     def test_pool_contains_only_ready(self, parts, tiny_scenario):

@@ -1,0 +1,67 @@
+"""Regression tests for the Figure 7 value metric and its aggregation.
+
+A sub-tick mapping (``heuristic_seconds`` below the wall-clock timer's
+resolution, or exactly ``0.0``) used to yield ``t100 / 0 == inf``, which
+silently poisoned every mean it was averaged into.  The fix has two
+layers: the metric clamps its denominator to :data:`MIN_TIMED_SECONDS`,
+and :func:`mean_std` refuses non-finite input loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.slrh import SLRH1, MIN_TIMED_SECONDS, SlrhConfig
+from repro.experiments.comparison import HeuristicScenarioOutcome
+from repro.experiments.reporting import mean_std
+
+
+class TestValuePerSecond:
+    def test_zero_seconds_is_finite(self, tiny_scenario, mid_weights):
+        result = SLRH1(SlrhConfig(weights=mid_weights)).map(tiny_scenario)
+        degenerate = replace(result, heuristic_seconds=0.0)
+        value = degenerate.value_per_second()
+        assert math.isfinite(value)
+        assert value == degenerate.t100 / MIN_TIMED_SECONDS
+
+    def test_clamp_inactive_above_resolution(self, tiny_scenario, mid_weights):
+        result = SLRH1(SlrhConfig(weights=mid_weights)).map(tiny_scenario)
+        slow = replace(result, heuristic_seconds=2.0)
+        assert slow.value_per_second() == slow.t100 / 2.0
+
+    def test_outcome_value_metric_is_finite(self):
+        outcome = HeuristicScenarioOutcome(
+            heuristic="SLRH-1",
+            case="A",
+            etc=0,
+            dag=0,
+            succeeded=True,
+            alpha=0.5,
+            beta=0.2,
+            t100=40,
+            aet=100.0,
+            heuristic_seconds=0.0,
+            ub=45,
+            evaluations=10,
+        )
+        assert math.isfinite(outcome.value_metric)
+        assert outcome.value_metric == 40 / MIN_TIMED_SECONDS
+
+
+class TestMeanStd:
+    def test_empty_is_nan_pair(self):
+        mean, std = mean_std([])
+        assert math.isnan(mean) and math.isnan(std)
+
+    def test_basic_aggregate(self):
+        mean, std = mean_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == 1.0
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf"), float("nan")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            mean_std([1.0, bad, 2.0])
