@@ -107,6 +107,12 @@ from repro.workload import (
     paper_scaled_spec,
     paper_scaled_suite,
 )
+from repro.heuristics import (
+    HEURISTIC_NAMES,
+    WEIGHTED_HEURISTICS,
+    make_scheduler,
+    run_heuristic,
+)
 from repro.workload.scenario import PAPER_TAU, ScenarioSuite
 
 __version__ = "1.0.0"
@@ -141,5 +147,7 @@ __all__ = [
     "ChurnEvent", "ChurnOutcome", "run_with_churn",
     "compute_stats", "energy_profile", "render_gantt",
     "critical_path_bound", "efficiency", "schedule_slack", "critical_chain",
+    # heuristic registry (shared by CLI + service dispatch)
+    "HEURISTIC_NAMES", "WEIGHTED_HEURISTICS", "make_scheduler", "run_heuristic",
     "__version__",
 ]

@@ -1,20 +1,31 @@
-"""CLI: regenerate the paper's full evaluation report.
+"""CLI: regenerate the paper's full evaluation report, or map one scenario.
 
 Usage::
 
     python -m repro.experiments [--scale smoke|small|medium|paper]
                                 [--only tables|fig2|fig3|fig4|fig5|fig6|fig7]
-                                [--out PATH] [--jobs N] [--perf-out PATH]
+                                [--out PATH] [--jobs N|auto] [--perf-out PATH]
 
-Prints every table and figure the paper reports (at the selected scale) and
-optionally writes the combined report to a file.  Figures 3-7 share one
-cached weight-optimisation study, so requesting several of them costs
-little more than one.
+    python -m repro.experiments map (--scenario FILE | --generate N [--seed S])
+                                    [--heuristic NAME] [--alpha A --beta B]
+                                    [--out PATH|-] [--ndjson]
+
+The report form prints every table and figure the paper reports (at the
+selected scale) and optionally writes the combined report to a file.
+Figures 3-7 share one cached weight-optimisation study, so requesting
+several of them costs little more than one.
 
 When the weight-optimisation study runs, its merged performance counters
 (plan-cache hit rates, pool sizes, per-phase wall time — see
 :mod:`repro.perf`) are written as JSON next to the benchmark artefacts:
 ``benchmarks/out/perf_<scale>.json`` by default, or ``--perf-out PATH``.
+
+The ``map`` form is the batch twin of the :mod:`repro.service` daemon's
+``POST /v1/map``: it dispatches through the same registry
+(:mod:`repro.heuristics`) and emits the same canonical mapping bytes
+(:func:`repro.io.serialization.canonical_mapping_bytes`), so for a fixed
+scenario + seed the two surfaces are byte-identical — the service test
+suite enforces exactly that.
 """
 
 from __future__ import annotations
@@ -41,6 +52,81 @@ from repro.experiments.scale import _PRESETS, scale_from_env
 from repro.experiments.tables import render_tables
 
 _SECTIONS = ("tables", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7")
+
+
+def map_main(argv: list[str] | None = None) -> int:
+    """The ``map`` subcommand: run one registry heuristic on one scenario."""
+    from repro.heuristics import HEURISTIC_NAMES, run_heuristic
+    from repro.io.serialization import (
+        canonical_mapping_bytes,
+        iter_mapping_ndjson,
+        scenario_from_dict,
+        scenario_to_dict,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments map",
+        description="Map one scenario with a registry heuristic and emit "
+        "canonical mapping JSON (byte-identical to the service's /v1/map).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--scenario", help="scenario JSON file to map")
+    source.add_argument(
+        "--generate", type=int, metavar="N",
+        help="generate a paper-scaled N-task scenario instead of loading one",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for --generate (default: 0)",
+    )
+    parser.add_argument(
+        "--heuristic", default="slrh1",
+        help=f"registry heuristic to run (one of: {', '.join(HEURISTIC_NAMES)})",
+    )
+    parser.add_argument("--alpha", type=float, default=None, help="objective α")
+    parser.add_argument("--beta", type=float, default=None, help="objective β")
+    parser.add_argument(
+        "--out", default="-",
+        help="mapping output path ('-' streams to stdout; parents created)",
+    )
+    parser.add_argument(
+        "--ndjson", action="store_true",
+        help="emit the streamed NDJSON mapping encoding instead of one document",
+    )
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from repro.heuristics import generate_named_scenario
+
+    if args.scenario is not None:
+        doc = _json.loads(pathlib.Path(args.scenario).read_text())
+    else:
+        # Round-trip through the document form so the mapped Scenario is
+        # bit-for-bit the one a service client would register.
+        doc = scenario_to_dict(generate_named_scenario(args.generate, args.seed))
+    try:
+        scenario = scenario_from_dict(doc)
+        result = run_heuristic(args.heuristic, scenario, args.alpha, args.beta)
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc))
+    if args.ndjson:
+        payload = b"".join(iter_mapping_ndjson(result.schedule))
+    else:
+        payload = canonical_mapping_bytes(result.schedule)
+    if args.out == "-":
+        sys.stdout.buffer.write(payload)
+        sys.stdout.buffer.flush()
+    else:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(payload)
+        print(
+            f"{result.heuristic}: mapped {result.schedule.n_mapped}/"
+            f"{scenario.n_tasks} tasks of {scenario.name} "
+            f"(success={result.success}) -> {out}"
+        )
+    return 0
 
 
 def build_report(scale, only: list[str]) -> str:
@@ -70,9 +156,14 @@ def build_report(scale, only: list[str]) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "map":
+        return map_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures "
+        "(or `map` one scenario; see `map --help`).",
     )
     parser.add_argument(
         "--scale", choices=sorted(_PRESETS), default=None,
@@ -84,9 +175,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--out", default=None, help="also write the report here")
     parser.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes for the weight-search study (default: "
-        "$REPRO_JOBS or serial)",
+        "--jobs", default=None,
+        help="worker processes for the weight-search study: an integer or "
+        "'auto' for one per CPU (default: $REPRO_JOBS or serial)",
     )
     parser.add_argument(
         "--perf-out", default=None,
@@ -95,9 +186,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.jobs is not None:
-        if args.jobs < 1:
-            parser.error(f"--jobs must be >= 1, got {args.jobs}")
-        os.environ["REPRO_JOBS"] = str(args.jobs)
+        try:
+            jobs = resolve_jobs(args.jobs)
+        except ValueError as exc:
+            parser.error(f"--jobs: {exc}")
+        os.environ["REPRO_JOBS"] = str(jobs)
 
     scale = _PRESETS[args.scale] if args.scale else scale_from_env()
     start = time.perf_counter()
@@ -106,8 +199,9 @@ def main(argv: list[str] | None = None) -> int:
     report += f"\n\ngenerated in {elapsed:.1f}s"
     print(report)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(report + "\n")
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n")
 
     # The comparison study (figures 3-7 / tables) is memoised: if any of
     # those sections ran above, this re-read is free and its counters

@@ -13,16 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
 from repro.bounds.upper_bound import upper_bound
 from repro.core.objective import Weights
-from repro.core.slrh import (
-    MIN_TIMED_SECONDS,
-    SLRH1,
-    SLRH2,
-    SLRH3,
-    MappingResult,
-    SlrhConfig,
+from repro.core.slrh import MIN_TIMED_SECONDS, MappingResult
+from repro.heuristics import (
+    WEIGHTED_HEURISTICS,
+    make_scheduler,
+    normalize_heuristic,
 )
 from repro.experiments.reporting import mean_std
 from repro.experiments.scale import ExperimentScale, SMALL_SCALE
@@ -36,32 +33,28 @@ CASES = ("A", "B", "C")
 PLOTTED_HEURISTICS = ("SLRH-1", "SLRH-3", "Max-Max")
 
 
-_SLRH_CLASSES = {"SLRH-1": SLRH1, "SLRH-2": SLRH2, "SLRH-3": SLRH3}
-
-
 @dataclass(frozen=True)
 class HeuristicFactory:
     """Weight-point → runnable heuristic, for the §VII search.
 
     A plain dataclass (not a lambda) so it pickles: worker processes of
-    the parallel weight search receive the factory itself.
+    the parallel weight search receive the factory itself.  Dispatch goes
+    through the shared registry in :mod:`repro.heuristics`, the same code
+    path the batch CLI and the service use.
     """
 
     heuristic: str
 
     def __call__(self, w: Weights):
-        cls = _SLRH_CLASSES.get(self.heuristic)
-        if cls is not None:
-            return cls(SlrhConfig(weights=w))
-        if self.heuristic == "Max-Max":
-            return MaxMaxScheduler(MaxMaxConfig(weights=w))
-        raise KeyError(f"unknown heuristic {self.heuristic!r}")
+        return make_scheduler(self.heuristic, weights=w)
 
 
 def make_factory(heuristic: str) -> HeuristicFactory:
     """Weight-point → runnable heuristic, for the §VII search."""
-    if heuristic not in _SLRH_CLASSES and heuristic != "Max-Max":
-        raise KeyError(f"unknown heuristic {heuristic!r}")
+    if normalize_heuristic(heuristic) not in WEIGHTED_HEURISTICS:
+        raise KeyError(
+            f"heuristic {heuristic!r} has no objective weights to search"
+        )
     return HeuristicFactory(heuristic)
 
 

@@ -10,13 +10,30 @@ Two artefact kinds:
   through ``Schedule.commit`` in topological order, so a loaded mapping has
   passed the same invariants as a freshly computed one — a tampered file
   that violates the model is rejected, not silently accepted.
+
+The serving layer adds two requirements on top of the dict forms:
+
+* **canonical bytes** — :func:`canonical_json_bytes` pins one byte
+  encoding (sorted keys, minimal separators, trailing newline) so the
+  same document has the same bytes on every surface.  Scenario identity in
+  the service registry is :func:`scenario_digest` (SHA-256 of the
+  canonical scenario bytes), and the differential determinism test
+  compares :func:`canonical_mapping_bytes` across the service and the
+  batch CLI.
+* **streamed/partial encoding** — :func:`iter_mapping_ndjson` emits a
+  mapping as NDJSON (one header line, one line per assignment in task
+  order, one footer), so a mapping can be written or served
+  incrementally without materialising the whole document;
+  :func:`mapping_from_ndjson` reassembles and replays it, accepting the
+  truncation point of a partial stream only when the footer is absent.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Union
+from typing import Iterable, Iterator, Union
 
 from repro.grid.config import GridConfig
 from repro.grid.machine import MachineClass, MachineSpec
@@ -217,3 +234,123 @@ def save_mapping(schedule: Schedule, path: PathLike) -> None:
 def load_mapping(path: PathLike, scenario: Scenario) -> Schedule:
     """Read and replay a mapping JSON document against *scenario*."""
     return mapping_from_dict(json.loads(Path(path).read_text()), scenario)
+
+
+# -- canonical bytes & content addressing -----------------------------------------
+
+
+def canonical_json_bytes(doc: dict) -> bytes:
+    """The pinned byte encoding of *doc*: sorted keys, minimal separators,
+    ASCII-only, one trailing newline.  Equal documents → equal bytes, on
+    every platform and surface."""
+    return (
+        json.dumps(doc, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+        + "\n"
+    ).encode("ascii")
+
+
+def scenario_digest(data: "Scenario | dict") -> str:
+    """Content address of a scenario: ``sha256:<hex>`` over the canonical
+    bytes of its dict form.  Accepts a :class:`Scenario` or an already
+    serialised scenario document."""
+    doc = scenario_to_dict(data) if isinstance(data, Scenario) else data
+    if doc.get("kind") != "scenario":
+        raise ValueError(f"not a scenario document (kind={doc.get('kind')!r})")
+    return "sha256:" + hashlib.sha256(canonical_json_bytes(doc)).hexdigest()
+
+
+def canonical_mapping_bytes(schedule: Schedule) -> bytes:
+    """Canonical byte encoding of the schedule's mapping document — the
+    payload the service returns and the batch CLI writes, compared
+    byte-for-byte by the differential determinism test."""
+    return canonical_json_bytes(mapping_to_dict(schedule))
+
+
+# -- streamed / partial mapping encoding ------------------------------------------
+
+
+def iter_mapping_ndjson(schedule: Schedule) -> Iterator[bytes]:
+    """Encode the schedule's mapping as NDJSON lines (bytes).
+
+    Layout: a ``header`` line carrying format/scenario/assignment count,
+    one ``assignment`` line per committed task (ascending task id), and a
+    ``footer`` line with the external debits.  Each line is independently
+    canonical (:func:`canonical_json_bytes`), so a consumer can process —
+    or a producer can stop emitting — after any whole line.
+    """
+    doc = mapping_to_dict(schedule)
+    yield canonical_json_bytes(
+        {
+            "record": "header",
+            "format": _FORMAT_VERSION,
+            "kind": "mapping",
+            "scenario": doc["scenario"],
+            "n_assignments": len(doc["assignments"]),
+        }
+    )
+    for rec in doc["assignments"]:
+        yield canonical_json_bytes({"record": "assignment", **rec})
+    yield canonical_json_bytes(
+        {"record": "footer", "external_debits": doc["external_debits"]}
+    )
+
+
+def mapping_from_ndjson(
+    lines: Iterable[bytes | str], scenario: Scenario
+) -> Schedule:
+    """Reassemble an :func:`iter_mapping_ndjson` stream and replay it.
+
+    A complete stream (footer present) must carry exactly the advertised
+    assignment count.  A *partial* stream — header plus a prefix of the
+    assignment lines, no footer — replays the prefix, supporting
+    resumable transfer of large mappings; a stream cut mid-document is
+    rejected by the replay invariants exactly like a tampered file.
+    """
+    header: dict | None = None
+    assignments: list[dict] = []
+    debits: list = []
+    saw_footer = False
+    for raw in lines:
+        text = raw.decode("ascii") if isinstance(raw, bytes) else raw
+        text = text.strip()
+        if not text:
+            continue
+        if saw_footer:
+            raise ValueError("NDJSON mapping stream continues past its footer")
+        rec = json.loads(text)
+        kind = rec.get("record")
+        if kind == "header":
+            if header is not None:
+                raise ValueError("duplicate NDJSON mapping header")
+            if rec.get("kind") != "mapping" or rec.get("format") != _FORMAT_VERSION:
+                raise ValueError("not a supported NDJSON mapping header")
+            header = rec
+        elif kind == "assignment":
+            if header is None:
+                raise ValueError("NDJSON mapping stream must start with a header")
+            rec.pop("record")
+            assignments.append(rec)
+        elif kind == "footer":
+            if header is None:
+                raise ValueError("NDJSON mapping stream must start with a header")
+            debits = rec.get("external_debits", [])
+            saw_footer = True
+        else:
+            raise ValueError(f"unknown NDJSON mapping record {kind!r}")
+    if header is None:
+        raise ValueError("empty NDJSON mapping stream")
+    if saw_footer and len(assignments) != int(header["n_assignments"]):
+        raise ValueError(
+            f"NDJSON mapping stream carries {len(assignments)} assignments, "
+            f"header advertised {header['n_assignments']}"
+        )
+    return mapping_from_dict(
+        {
+            "format": _FORMAT_VERSION,
+            "kind": "mapping",
+            "scenario": header.get("scenario", scenario.name),
+            "assignments": assignments,
+            "external_debits": debits,
+        },
+        scenario,
+    )

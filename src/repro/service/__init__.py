@@ -1,0 +1,47 @@
+"""repro.service — the long-running SLRH scheduling daemon.
+
+The paper's SLRH manager is an *online* resource manager: a clock-driven
+process reacting to an ad hoc grid.  This package is its serving layer —
+the deployment shape assumed by grid brokers such as Nimrod/G (Buyya et
+al.) and the DAG-scheduling platforms of Pop & Cristea — built entirely
+from the stdlib on top of the existing engine:
+
+* :mod:`repro.service.registry` — content-addressed scenario store
+  (``sha256:`` of the canonical scenario bytes) with an LRU of
+  deserialised :class:`~repro.workload.scenario.Scenario` objects;
+* :mod:`repro.service.jobs` — admission control (bounded queue → HTTP
+  429), request batching over a persistent
+  :class:`~repro.util.parallel.WorkerPool`, graceful drain, and the live
+  :mod:`repro.perf` registry (counters + gauges + latency histograms);
+* :mod:`repro.service.worker` — the picklable mapping executor shared by
+  in-process and process-pool execution;
+* :mod:`repro.service.app` — the HTTP surface (``/v1/scenarios``,
+  ``/v1/map``, ``/v1/jobs/<id>`` + NDJSON event streaming, ``/healthz``,
+  ``/metrics``);
+* :mod:`repro.service.loadgen` — a concurrent load generator that writes
+  the ``BENCH_service.json`` artefact.
+
+Start it with ``python -m repro.service [--port] [--jobs] [--max-queue]``.
+
+Determinism contract: for a fixed scenario + seed, the mapping JSON served
+by ``POST /v1/map`` is byte-identical to ``python -m repro.experiments
+map``'s output for every heuristic in :mod:`repro.heuristics` — both
+surfaces dispatch through the same registry and encode through
+:func:`repro.io.serialization.canonical_mapping_bytes`.
+"""
+
+from repro.service.jobs import (
+    DrainingError,
+    Job,
+    JobManager,
+    QueueFullError,
+)
+from repro.service.registry import ScenarioRegistry
+
+__all__ = [
+    "DrainingError",
+    "Job",
+    "JobManager",
+    "QueueFullError",
+    "ScenarioRegistry",
+]

@@ -1,0 +1,102 @@
+"""Daemon entry point: ``python -m repro.service``.
+
+Boots the scenario registry, the batching job manager and the HTTP server,
+then serves until SIGTERM/SIGINT.  Shutdown is graceful by contract: the
+signal flips the manager into draining mode (new ``/v1/map`` requests get
+503, queued and in-flight jobs run to completion), the worker pool and
+server are torn down, and the process exits 0.
+
+Options::
+
+    --host HOST        bind address            (default 127.0.0.1)
+    --port PORT        TCP port; 0 = ephemeral (default 8000)
+    --jobs N|auto      mapping workers         (default $REPRO_JOBS or 1)
+    --max-queue N      admission-control bound (default 64)
+    --batch-max N      max requests per dispatch wave (default 2×jobs)
+    --drain-grace S    max seconds to wait for drain on shutdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.service.app import make_server
+from repro.service.jobs import JobManager
+from repro.service.registry import ScenarioRegistry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Long-running SLRH scheduling service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000,
+                        help="TCP port; 0 picks an ephemeral port")
+    parser.add_argument("--jobs", default=None,
+                        help="mapping worker processes: integer or 'auto' "
+                        "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="bounded job queue size (429 beyond it)")
+    parser.add_argument("--batch-max", type=int, default=None,
+                        help="max requests batched per dispatch wave")
+    parser.add_argument("--drain-grace", type=float, default=30.0,
+                        help="seconds to wait for in-flight jobs on shutdown")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request to stderr")
+    args = parser.parse_args(argv)
+
+    registry = ScenarioRegistry()
+    try:
+        manager = JobManager(
+            registry,
+            n_jobs=args.jobs,
+            max_queue=args.max_queue,
+            batch_max=args.batch_max,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    server = make_server(args.host, args.port, manager, quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    print(
+        f"repro.service listening on http://{host}:{port} "
+        f"(jobs={manager.pool.n_jobs}, max-queue={manager.max_queue}, "
+        f"batch-max={manager.batch_max})",
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def request_shutdown(signum, frame):
+        print(f"signal {signal.Signals(signum).name}: draining...", flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_shutdown)
+    signal.signal(signal.SIGINT, request_shutdown)
+
+    serve_thread = threading.Thread(
+        target=server.serve_forever, name="repro-http", daemon=True
+    )
+    serve_thread.start()
+    try:
+        stop.wait()
+    finally:
+        drained = manager.drain(timeout=args.drain_grace)
+        server.shutdown()
+        serve_thread.join(timeout=10)
+        server.server_close()
+        manager.close(drain_timeout=0)
+        completed = int(manager.perf.get("service.completed"))
+        print(
+            f"repro.service stopped ({'drained' if drained else 'DRAIN TIMED OUT'}; "
+            f"{completed} jobs completed)",
+            flush=True,
+        )
+    return 0 if drained else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    sys.exit(main())

@@ -1,0 +1,331 @@
+"""HTTP surface of the scheduling service (stdlib ``http.server``).
+
+Routes (all bodies JSON; streaming endpoints NDJSON):
+
+``POST /v1/scenarios``
+    Register a scenario document (``scenario_to_dict`` form), or generate
+    one server-side from ``{"generate": {"n_tasks": N, "seed": S}}`` via
+    the same constructor the batch CLI uses.  201 on first registration,
+    200 for a duplicate (content-addressed: same bytes → same id).
+``POST /v1/map``
+    Run a registry heuristic on a registered scenario.  Default is
+    synchronous: the response body is the canonical mapping JSON,
+    byte-identical to ``python -m repro.experiments map``.  With
+    ``"wait": false`` returns 202 and a job id to poll.  Backpressure:
+    429 + ``Retry-After`` when the bounded queue is full, 503 while
+    draining.
+``GET /v1/jobs/<id>``
+    Job status document.
+``GET /v1/jobs/<id>/result``
+    Canonical mapping JSON of a finished job (409 while running).
+``GET /v1/jobs/<id>/events``
+    NDJSON stream: ``status`` heartbeats while the job is queued/running,
+    then the tick-level ``commit`` trace events of the finished mapping,
+    a ``trace`` summary and a final ``done`` record.
+``GET /v1/scenarios``
+    Registered scenario ids.
+``GET /healthz``
+    Liveness + drain state.
+``GET /metrics``
+    The live ``repro.perf/2`` registry: engine counters merged from every
+    completed job (plan-cache hit rates …), service gauges (queue depth,
+    in-flight) and latency histograms with p50/p95/p99.
+
+Threading model: :class:`ThreadingHTTPServer` gives one handler thread per
+connection; synchronous ``/v1/map`` handlers block on the job's completion
+event while the single dispatcher thread batches queued jobs over the
+persistent worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.io.serialization import canonical_json_bytes
+from repro.service.jobs import DrainingError, JobManager, QueueFullError
+
+#: Seconds between NDJSON ``status`` heartbeats while a job is pending.
+EVENT_HEARTBEAT_SECONDS = 1.0
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service state."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, manager: JobManager, quiet: bool = True):
+        super().__init__(address, ServiceHandler)
+        self.manager = manager
+        self.registry = manager.registry
+        self.quiet = quiet
+        self.started_at = time.monotonic()
+
+
+def make_server(
+    host: str, port: int, manager: JobManager, quiet: bool = True
+) -> ServiceServer:
+    """Bind a :class:`ServiceServer` (port 0 → ephemeral) and start the
+    manager's dispatcher."""
+    server = ServiceServer((host, port), manager, quiet=quiet)
+    manager.start()
+    return server
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServiceServer
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # pragma: no cover - log noise
+        if not self.server.quiet:
+            super().log_message(fmt, *args)
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager
+
+    def _send(
+        self,
+        status: int,
+        payload: bytes,
+        content_type: str = "application/json",
+        extra_headers: dict | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, str(value))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, doc: dict, extra_headers: dict | None = None) -> None:
+        self._send(status, canonical_json_bytes(doc), extra_headers=extra_headers)
+
+    def _error(self, status: int, message: str, **extra) -> None:
+        headers = {}
+        if "retry_after" in extra:
+            headers["Retry-After"] = extra.pop("retry_after")
+        self._send_json(status, {"error": message, **extra}, extra_headers=headers)
+
+    def _read_body(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+            doc = json.loads(raw) if raw else {}
+        except (ValueError, json.JSONDecodeError):
+            self._error(400, "request body must be a JSON object")
+            return None
+        if not isinstance(doc, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return doc
+
+    # -- POST --------------------------------------------------------------
+
+    def do_POST(self) -> None:
+        try:
+            if self.path == "/v1/scenarios":
+                self._post_scenarios()
+            elif self.path == "/v1/map":
+                self._post_map()
+            else:
+                self._error(404, f"no such endpoint {self.path!r}")
+        except BrokenPipeError:  # client went away mid-response
+            pass
+
+    def _post_scenarios(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        gen = body.get("generate")
+        if gen is not None:
+            from repro.heuristics import generate_named_scenario
+            from repro.io.serialization import scenario_to_dict
+
+            try:
+                doc = scenario_to_dict(
+                    generate_named_scenario(
+                        int(gen.get("n_tasks", 0)), int(gen.get("seed", 0))
+                    )
+                )
+            except (TypeError, ValueError, AttributeError) as exc:
+                self._error(400, f"bad generate spec: {exc}")
+                return
+        else:
+            doc = body
+        try:
+            scenario_id, created = self.server.registry.put(doc)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._error(400, f"bad scenario document: {exc}")
+            return
+        self._send_json(
+            201 if created else 200,
+            {
+                "id": scenario_id,
+                "created": created,
+                "name": doc.get("name"),
+                "n_tasks": doc["dag"]["n_tasks"],
+                "n_machines": len(doc["grid"]["machines"]),
+            },
+        )
+
+    def _post_map(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        scenario_id = body.get("scenario")
+        heuristic = body.get("heuristic", "slrh1")
+        if not scenario_id:
+            self._error(400, "missing 'scenario' (a registered scenario id)")
+            return
+        try:
+            alpha = body.get("alpha")
+            beta = body.get("beta")
+            job = self.manager.submit(
+                scenario_id,
+                heuristic,
+                None if alpha is None else float(alpha),
+                None if beta is None else float(beta),
+            )
+        except QueueFullError as exc:
+            self._error(
+                429, str(exc),
+                retry_after=exc.retry_after,
+                queue_depth=exc.depth,
+            )
+            return
+        except DrainingError as exc:
+            self._error(503, str(exc))
+            return
+        except KeyError as exc:
+            self._error(404, str(exc.args[0] if exc.args else exc))
+            return
+        except (TypeError, ValueError) as exc:
+            self._error(400, str(exc))
+            return
+        if body.get("wait", True):
+            job.done.wait()
+            self._job_result(job)
+        else:
+            self._send_json(
+                202,
+                {
+                    "job": job.id,
+                    "state": job.state,
+                    "status_url": f"/v1/jobs/{job.id}",
+                    "events_url": f"/v1/jobs/{job.id}/events",
+                    "result_url": f"/v1/jobs/{job.id}/result",
+                },
+            )
+
+    # -- GET ---------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        try:
+            if self.path == "/healthz":
+                self._get_healthz()
+            elif self.path == "/metrics":
+                self._get_metrics()
+            elif self.path == "/v1/scenarios":
+                self._send_json(200, {"scenarios": self.server.registry.ids()})
+            elif self.path.startswith("/v1/jobs/"):
+                self._get_job(self.path[len("/v1/jobs/"):])
+            else:
+                self._error(404, f"no such endpoint {self.path!r}")
+        except BrokenPipeError:
+            pass
+
+    def _get_healthz(self) -> None:
+        manager = self.manager
+        self._send_json(
+            200,
+            {
+                "status": "draining" if manager.draining else "ok",
+                "uptime_seconds": time.monotonic() - self.server.started_at,
+                "queue_depth": manager.queue_depth,
+                "inflight": manager.inflight,
+                "scenarios": len(self.server.registry),
+            },
+        )
+
+    def _get_metrics(self) -> None:
+        doc = self.manager.metrics_document(
+            service="repro.service",
+            uptime_seconds=time.monotonic() - self.server.started_at,
+        )
+        payload = (
+            json.dumps(doc, indent=2, sort_keys=True, allow_nan=True) + "\n"
+        ).encode("ascii")
+        self._send(200, payload)
+
+    def _get_job(self, tail: str) -> None:
+        job_id, _, verb = tail.partition("/")
+        try:
+            job = self.manager.get(job_id)
+        except KeyError:
+            self._error(404, f"no such job {job_id!r}")
+            return
+        if verb == "":
+            self._send_json(200, job.status_doc())
+        elif verb == "result":
+            if not job.done.is_set():
+                self._error(409, f"job {job.id} is {job.state}")
+            else:
+                self._job_result(job)
+        elif verb == "events":
+            self._stream_events(job)
+        else:
+            self._error(404, f"no such job endpoint {verb!r}")
+
+    def _job_result(self, job) -> None:
+        if job.state == "succeeded":
+            self._send(
+                200,
+                job.mapping_bytes,
+                extra_headers={
+                    "X-Job-Id": job.id,
+                    "X-Heuristic": job.outcome["heuristic"],
+                    "X-Heuristic-Seconds": f"{job.outcome['heuristic_seconds']:.6f}",
+                },
+            )
+        else:
+            self._error(500, job.error or f"job {job.id} {job.state}")
+
+    def _stream_events(self, job) -> None:
+        """NDJSON progress stream: heartbeats until done, then the trace."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+
+        def line(doc: dict) -> None:
+            self.wfile.write(canonical_json_bytes(doc))
+            self.wfile.flush()
+
+        line({"event": "status", "job": job.id, "state": job.state})
+        while not job.done.wait(timeout=EVENT_HEARTBEAT_SECONDS):
+            line(
+                {
+                    "event": "status",
+                    "job": job.id,
+                    "state": job.state,
+                    "queue_depth": self.manager.queue_depth,
+                }
+            )
+        if job.state == "succeeded":
+            for event in job.outcome["events"]:
+                line(event)
+        line(
+            {
+                "event": "done",
+                "job": job.id,
+                "state": job.state,
+                **({"error": job.error} if job.error else {}),
+            }
+        )

@@ -1,0 +1,372 @@
+"""Job admission, batching and lifecycle for the scheduling service.
+
+Requests become :class:`Job` records in a **bounded** queue — admission
+control is the contract: when the queue is full, :meth:`JobManager.submit`
+raises :class:`QueueFullError` (HTTP 429 upstream, with a load-derived
+``Retry-After``), never an unbounded backlog.
+
+A single dispatcher thread drains the queue in **batches**: up to
+``batch_max`` compatible requests (same picklable executor,
+:func:`repro.service.worker.execute_mapping`) are popped per wave, ordered
+by scenario digest so worker-process scenario caches see runs of the same
+scenario, and fanned over the persistent
+:class:`~repro.util.parallel.WorkerPool`.  With ``--jobs 1`` the pool runs
+the batch serially in the dispatcher thread — no processes, identical
+bytes.
+
+The manager owns the live :mod:`repro.perf` registry the ``/metrics``
+endpoint serves: service counters (submitted/completed/failed/rejected),
+gauges (queue depth, in-flight jobs, drain state) and latency histograms
+(`service.request_seconds` submit→finish, `service.map_seconds` heuristic
+wall time, `service.batch_size`), plus every job's own engine counters
+(plan-cache hit rates et al.) merged in as they complete.
+
+Graceful drain: :meth:`JobManager.drain` stops admission and blocks until
+the queue and in-flight batches are empty — the SIGTERM path of
+``python -m repro.service``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.heuristics import WEIGHTED_HEURISTICS, normalize_heuristic
+from repro.io.serialization import canonical_json_bytes
+from repro.perf import PerfCounters
+from repro.service.registry import ScenarioRegistry
+from repro.service.worker import execute_mapping
+from repro.util.parallel import WorkerPool
+
+#: Fallback per-job seconds used for Retry-After before any job finished.
+_DEFAULT_JOB_SECONDS = 1.0
+
+
+class QueueFullError(Exception):
+    """The bounded job queue is at capacity (HTTP 429 upstream)."""
+
+    def __init__(self, depth: int, retry_after: int) -> None:
+        super().__init__(
+            f"job queue full ({depth} queued); retry in ~{retry_after}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class DrainingError(Exception):
+    """The service is draining and no longer admits jobs (HTTP 503)."""
+
+
+@dataclass
+class Job:
+    """One ``/v1/map`` request through its lifecycle."""
+
+    id: str
+    scenario_id: str
+    heuristic: str
+    alpha: float | None
+    beta: float | None
+    state: str = "queued"  # queued | running | succeeded | failed
+    error: str | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    outcome: dict | None = None
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def mapping_bytes(self) -> bytes | None:
+        """Canonical mapping JSON of a succeeded job (None otherwise)."""
+        if self.outcome is None:
+            return None
+        return canonical_json_bytes(self.outcome["mapping"])
+
+    def status_doc(self) -> dict:
+        """JSON-ready status for ``GET /v1/jobs/<id>``."""
+        doc = {
+            "job": self.id,
+            "state": self.state,
+            "scenario": self.scenario_id,
+            "heuristic": self.heuristic,
+            "alpha": self.alpha,
+            "beta": self.beta,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.finished_at is not None:
+            doc["wait_seconds"] = (self.started_at or self.finished_at) - self.submitted_at
+            doc["total_seconds"] = self.finished_at - self.submitted_at
+        if self.outcome is not None:
+            doc["summary"] = self.outcome["summary"]
+            doc["heuristic_seconds"] = self.outcome["heuristic_seconds"]
+        return doc
+
+
+class JobManager:
+    """Bounded-queue batch dispatcher over a persistent worker pool."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry,
+        n_jobs: int | str | None = None,
+        max_queue: int = 64,
+        batch_max: int | None = None,
+        max_jobs_kept: int = 1024,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.registry = registry
+        self.pool = WorkerPool(n_jobs)
+        self.max_queue = max_queue
+        self.batch_max = batch_max if batch_max is not None else max(
+            2 * self.pool.n_jobs, 4
+        )
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.max_jobs_kept = max_jobs_kept
+        self.perf = PerfCounters()
+        self._queue: deque[Job] = deque()
+        self._jobs: dict[str, Job] = {}
+        self._job_order: deque[str] = deque()
+        self._inflight = 0
+        self._draining = False
+        self._stopped = False
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._ids = itertools.count(1)
+        self._dispatcher: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "JobManager":
+        """Start the dispatcher thread (idempotent); returns self."""
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("JobManager is closed")
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop, name="repro-dispatcher", daemon=True
+                )
+                self._dispatcher.start()
+        return self
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting jobs and wait until queue + in-flight are empty.
+
+        Returns True when fully drained within *timeout* (None = forever).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._draining = True
+            self._update_gauges()
+            self._wake.notify_all()
+            while self._queue or self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(timeout=remaining)
+        return True
+
+    def close(self, drain_timeout: float | None = None) -> None:
+        """Drain (bounded by *drain_timeout*), stop the dispatcher, shut the
+        pool down.  Idempotent."""
+        self.drain(timeout=drain_timeout)
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._wake.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10)
+        self.pool.shutdown()
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(
+        self,
+        scenario_id: str,
+        heuristic: str,
+        alpha: float | None = None,
+        beta: float | None = None,
+    ) -> Job:
+        """Admit one mapping request; returns its :class:`Job`.
+
+        Raises :class:`KeyError` for an unregistered scenario or unknown
+        heuristic, :class:`ValueError` for weights on a weight-free
+        baseline, :class:`DrainingError` during shutdown and
+        :class:`QueueFullError` when the bounded queue is at capacity.
+        """
+        canonical = normalize_heuristic(heuristic)  # KeyError when unknown
+        if canonical not in WEIGHTED_HEURISTICS and not (alpha is None and beta is None):
+            raise ValueError(
+                f"heuristic {canonical!r} does not take objective weights"
+            )
+        if scenario_id not in self.registry:
+            raise KeyError(f"scenario {scenario_id!r} is not registered")
+        with self._lock:
+            if self._stopped or self._draining:
+                self.perf.inc("service.rejected_draining")
+                raise DrainingError("service is draining; not accepting jobs")
+            if len(self._queue) >= self.max_queue:
+                self.perf.inc("service.rejected")
+                raise QueueFullError(len(self._queue), self._retry_after_locked())
+            job = Job(
+                id=f"job-{next(self._ids):08d}",
+                scenario_id=scenario_id,
+                heuristic=canonical,
+                alpha=alpha,
+                beta=beta,
+                submitted_at=time.monotonic(),
+            )
+            self._queue.append(job)
+            self._remember_locked(job)
+            self.perf.inc("service.submitted")
+            self._update_gauges()
+            self._wake.notify_all()
+        return job
+
+    def _remember_locked(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        self._job_order.append(job.id)
+        while len(self._job_order) > self.max_jobs_kept:
+            old = self._job_order.popleft()
+            stale = self._jobs.get(old)
+            # Never evict a job that hasn't finished: its submitter may
+            # still be blocked on it.
+            if stale is not None and stale.done.is_set():
+                del self._jobs[old]
+            else:
+                self._job_order.append(old)
+                break
+
+    def _retry_after_locked(self) -> int:
+        hist = self.perf.histogram("service.map_seconds")
+        per_job = _DEFAULT_JOB_SECONDS
+        if hist is not None and hist.count:
+            per_job = max(hist.mean, 1e-3)
+        eta = (len(self._queue) + self._inflight) * per_job / self.pool.n_jobs
+        return max(1, min(300, int(eta + 0.999)))
+
+    def get(self, job_id: str) -> Job:
+        """The job registered under *job_id* (KeyError when unknown)."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        self.perf.set_gauge("service.queue_depth", float(len(self._queue)))
+        self.perf.set_gauge("service.inflight", float(self._inflight))
+        self.perf.set_gauge("service.draining", 1.0 if self._draining else 0.0)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopped:
+                    if self._draining:
+                        self._idle.notify_all()
+                    self._wake.wait()
+                if self._stopped and not self._queue:
+                    self._idle.notify_all()
+                    return
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(self.batch_max, len(self._queue)))
+                ]
+                # Scenario-digest order gives worker caches runs of the
+                # same scenario; per-job results are order-independent.
+                batch.sort(key=lambda j: (j.scenario_id, j.id))
+                now = time.monotonic()
+                for job in batch:
+                    job.state = "running"
+                    job.started_at = now
+                self._inflight = len(batch)
+                self._update_gauges()
+            self._run_batch(batch)
+            with self._lock:
+                self._inflight = 0
+                self._update_gauges()
+                self._idle.notify_all()
+
+    def _run_batch(self, batch: list[Job]) -> None:
+        self.perf.observe("service.batch_size", len(batch))
+        self.perf.inc("service.batches")
+        argtuples = [
+            (
+                job.scenario_id,
+                self.registry.get_doc(job.scenario_id),
+                job.heuristic,
+                job.alpha,
+                job.beta,
+            )
+            for job in batch
+        ]
+        try:
+            outcomes = self.pool.starmap(execute_mapping, argtuples, chunksize=1)
+        except Exception as exc:  # worker/pool failure: fail the whole wave
+            for job in batch:
+                self._finish(job, error=f"{type(exc).__name__}: {exc}")
+            return
+        for job, outcome in zip(batch, outcomes):
+            self._finish(job, outcome=outcome)
+
+    def _finish(self, job: Job, outcome: dict | None = None, error: str | None = None) -> None:
+        job.finished_at = time.monotonic()
+        if error is not None:
+            job.state = "failed"
+            job.error = error
+            self.perf.inc("service.failed")
+        else:
+            job.state = "succeeded"
+            job.outcome = outcome
+            self.perf.inc("service.completed")
+            self.perf.observe("service.map_seconds", outcome["heuristic_seconds"])
+            self.perf.merge(outcome["perf"])  # engine counters (plan cache …)
+        self.perf.observe(
+            "service.request_seconds", job.finished_at - job.submitted_at
+        )
+        job.done.set()
+
+    # -- metrics -----------------------------------------------------------
+
+    def metrics_document(self, **context) -> dict:
+        """The live ``repro.perf/2`` document served by ``/metrics``."""
+        from repro.perf import perf_document
+
+        with self._lock:
+            self._update_gauges()
+        registry_perf = self.registry.perf
+        counters = PerfCounters(self.perf.snapshot()).merge(
+            registry_perf.snapshot()
+        )
+        gauges = {
+            **registry_perf.gauges_snapshot(),
+            **self.perf.gauges_snapshot(),
+        }
+        return perf_document(
+            counters.snapshot(),
+            gauges=gauges,
+            histograms=self.perf.histograms_summary(),
+            **context,
+        )

@@ -1,0 +1,259 @@
+"""Load generator for the scheduling service → ``BENCH_service.json``.
+
+Drives N concurrent synchronous ``/v1/map`` clients against a running
+service (or a self-hosted in-process one), one level per requested
+concurrency, and records throughput plus exact p50/p95/p99 request
+latency per level.  The artefact layout::
+
+    {
+      "schema": "repro.bench.service/1",
+      "scenario": {"id": ..., "n_tasks": ..., "seed": ...},
+      "heuristic": "slrh1",
+      "levels": [
+        {"clients": 1, "requests": ..., "errors": 0,
+         "wall_seconds": ..., "throughput_rps": ...,
+         "latency_seconds": {"count": ..., "mean": ..., "p50": ...,
+                             "p95": ..., "p99": ...}},
+        ...
+      ],
+      "metrics_after": {... selected /metrics fields ...}
+    }
+
+Usage::
+
+    python -m repro.service.loadgen [--url http://host:port | --jobs N]
+                                    [--clients 1,4,16] [--requests 8]
+                                    [--n-tasks 24] [--seed 7]
+                                    [--heuristic slrh1] [--out BENCH_service.json]
+
+Without ``--url`` a service is booted in-process on an ephemeral port
+(with ``--jobs`` workers) and torn down afterwards, so the benchmark is
+one self-contained command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.perf import Histogram
+
+_SCHEMA = "repro.bench.service/1"
+_HTTP_TIMEOUT = 600.0
+
+
+def _post_json(base_url: str, path: str, doc: dict) -> tuple[int, bytes]:
+    req = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(doc).encode("ascii"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=_HTTP_TIMEOUT) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _get_json(base_url: str, path: str) -> dict:
+    with urllib.request.urlopen(base_url + path, timeout=_HTTP_TIMEOUT) as resp:
+        return json.loads(resp.read())
+
+
+def register_scenario(base_url: str, n_tasks: int, seed: int) -> str:
+    """Register the generated ``(n_tasks, seed)`` scenario; returns its id."""
+    status, body = _post_json(
+        base_url,
+        "/v1/scenarios",
+        {"generate": {"n_tasks": n_tasks, "seed": seed}},
+    )
+    if status not in (200, 201):
+        raise RuntimeError(f"scenario registration failed ({status}): {body!r}")
+    return json.loads(body)["id"]
+
+
+def run_level(
+    base_url: str,
+    scenario_id: str,
+    heuristic: str,
+    clients: int,
+    requests_per_client: int,
+    alpha: float | None = None,
+    beta: float | None = None,
+) -> dict:
+    """One concurrency level: *clients* threads × *requests_per_client*
+    sequential synchronous map requests each."""
+    latencies = Histogram()
+    lock = threading.Lock()
+    errors = [0]
+    payload: dict = {"scenario": scenario_id, "heuristic": heuristic, "wait": True}
+    if alpha is not None:
+        payload["alpha"] = alpha
+    if beta is not None:
+        payload["beta"] = beta
+
+    def client() -> None:
+        done = 0
+        while done < requests_per_client:
+            started = time.perf_counter()
+            status, body = _post_json(base_url, "/v1/map", payload)
+            elapsed = time.perf_counter() - started
+            if status == 429:
+                retry = 1.0
+                try:
+                    retry = float(json.loads(body).get("retry_after", 1))
+                except (ValueError, AttributeError):
+                    pass
+                time.sleep(min(retry, 5.0))
+                continue  # backpressure is not an error; retry the request
+            with lock:
+                if status == 200:
+                    latencies.observe(elapsed)
+                else:
+                    errors[0] += 1
+            done += 1
+
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-{i}") for i in range(clients)
+    ]
+    wall_started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_started
+    completed = latencies.count
+    return {
+        "clients": clients,
+        "requests": completed,
+        "errors": errors[0],
+        "wall_seconds": wall,
+        "throughput_rps": completed / wall if wall > 0 else 0.0,
+        "latency_seconds": latencies.summary(),
+    }
+
+
+def run_loadgen(
+    base_url: str,
+    levels: tuple[int, ...] = (1, 4, 16),
+    n_tasks: int = 24,
+    seed: int = 7,
+    heuristic: str = "slrh1",
+    requests_per_client: int = 8,
+) -> dict:
+    """Full benchmark against *base_url*; returns the artefact document."""
+    scenario_id = register_scenario(base_url, n_tasks, seed)
+    results = [
+        run_level(base_url, scenario_id, heuristic, c, requests_per_client)
+        for c in levels
+    ]
+    metrics = _get_json(base_url, "/metrics")
+    return {
+        "schema": _SCHEMA,
+        "scenario": {"id": scenario_id, "n_tasks": n_tasks, "seed": seed},
+        "heuristic": heuristic,
+        "requests_per_client": requests_per_client,
+        "levels": results,
+        "metrics_after": {
+            "derived": metrics.get("derived", {}),
+            "gauges": metrics.get("gauges", {}),
+            "histograms": metrics.get("histograms", {}),
+            "counters": {
+                k: v
+                for k, v in metrics.get("counters", {}).items()
+                if k.startswith(("service.", "registry.", "map."))
+            },
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="Benchmark a repro.service daemon; writes BENCH_service.json.",
+    )
+    parser.add_argument("--url", default=None,
+                        help="base URL of a running service (default: self-host)")
+    parser.add_argument("--jobs", default=None,
+                        help="workers for the self-hosted service (int or 'auto')")
+    parser.add_argument("--max-queue", type=int, default=64)
+    parser.add_argument("--clients", default="1,4,16",
+                        help="comma-separated concurrency levels")
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per client per level")
+    parser.add_argument("--n-tasks", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--heuristic", default="slrh1")
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+    try:
+        levels = tuple(int(c) for c in args.clients.split(",") if c.strip())
+    except ValueError:
+        parser.error(f"--clients must be comma-separated integers, got {args.clients!r}")
+    if not levels or any(c < 1 for c in levels):
+        parser.error("--clients needs at least one positive level")
+
+    server = None
+    manager = None
+    serve_thread = None
+    if args.url:
+        base_url = args.url.rstrip("/")
+    else:
+        from repro.service.app import make_server
+        from repro.service.jobs import JobManager
+        from repro.service.registry import ScenarioRegistry
+
+        manager = JobManager(
+            ScenarioRegistry(), n_jobs=args.jobs, max_queue=args.max_queue
+        )
+        server = make_server("127.0.0.1", 0, manager)
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+        serve_thread = threading.Thread(
+            target=server.serve_forever, name="loadgen-http", daemon=True
+        )
+        serve_thread.start()
+        print(f"self-hosted service on {base_url}", flush=True)
+
+    try:
+        doc = run_loadgen(
+            base_url,
+            levels=levels,
+            n_tasks=args.n_tasks,
+            seed=args.seed,
+            heuristic=args.heuristic,
+            requests_per_client=args.requests,
+        )
+    finally:
+        if server is not None:
+            manager.drain(timeout=30)
+            server.shutdown()
+            serve_thread.join(timeout=10)
+            server.server_close()
+            manager.close(drain_timeout=0)
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    for level in doc["levels"]:
+        lat = level["latency_seconds"]
+        print(
+            f"clients={level['clients']:>3}  requests={level['requests']:>4}  "
+            f"throughput={level['throughput_rps']:8.2f} req/s  "
+            f"p50={lat['p50']*1e3:7.1f}ms  p95={lat['p95']*1e3:7.1f}ms  "
+            f"p99={lat['p99']*1e3:7.1f}ms",
+            flush=True,
+        )
+    print(f"wrote {out}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    sys.exit(main())

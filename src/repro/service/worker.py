@@ -1,0 +1,105 @@
+"""The mapping executor shared by in-process and process-pool execution.
+
+:func:`execute_mapping` is a module-level function taking and returning
+only plain JSON-able values, so the job dispatcher can run it directly
+(``--jobs 1``) or fan a batch over the persistent
+:class:`~repro.util.parallel.WorkerPool` — in both cases through the same
+registry dispatch (:func:`repro.heuristics.run_heuristic`), which is what
+keeps served results byte-identical to the batch CLI.
+
+Each worker process keeps its own small LRU of deserialised scenarios
+keyed by content digest, so a batch of requests against one hot scenario
+deserialises it once per process, not once per request.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.heuristics import run_heuristic
+from repro.io.serialization import mapping_to_dict, scenario_from_dict
+from repro.sim.trace import MappingTrace
+from repro.workload.scenario import Scenario
+
+_CACHE_MAX = 8
+_scenarios: OrderedDict[str, Scenario] = OrderedDict()
+
+
+def _scenario_for(scenario_id: str, doc: dict) -> Scenario:
+    scenario = _scenarios.get(scenario_id)
+    if scenario is None:
+        scenario = scenario_from_dict(doc)
+        _scenarios[scenario_id] = scenario
+        while len(_scenarios) > _CACHE_MAX:
+            _scenarios.popitem(last=False)
+    else:
+        _scenarios.move_to_end(scenario_id)
+    return scenario
+
+
+def trace_events(trace: MappingTrace) -> list[dict]:
+    """Tick-level progress events of a finished mapping, NDJSON-ready.
+
+    One ``commit`` event per committed assignment (in commit order, with
+    the heuristic clock, pool size and running T100) plus one trailing
+    ``trace`` summary event.
+    """
+    events = [
+        {
+            "event": "commit",
+            "clock": r.clock,
+            "task": r.task,
+            "version": r.version,
+            "machine": r.machine,
+            "start": r.start,
+            "finish": r.finish,
+            "objective": r.objective,
+            "pool_size": r.pool_size,
+            "t100": r.t100,
+        }
+        for r in trace.records
+    ]
+    events.append(
+        {
+            "event": "trace",
+            "ticks": trace.ticks,
+            "commits": trace.n_commits,
+            "empty_pool_ticks": trace.empty_pool_ticks,
+            "machine_scans": trace.machine_scans,
+        }
+    )
+    return events
+
+
+def execute_mapping(
+    scenario_id: str,
+    scenario_doc: dict,
+    heuristic: str,
+    alpha: float | None,
+    beta: float | None,
+) -> dict:
+    """Run *heuristic* on the scenario and return a plain-dict outcome.
+
+    The outcome carries the mapping document (canonicalised to bytes by
+    the caller), the tick-level trace events, the run's perf-counter
+    snapshot and a summary — everything the service surfaces, nothing
+    that needs the worker process again.
+    """
+    scenario = _scenario_for(scenario_id, scenario_doc)
+    result = run_heuristic(heuristic, scenario, alpha, beta)
+    return {
+        "mapping": mapping_to_dict(result.schedule),
+        "events": trace_events(result.trace),
+        "perf": result.trace.perf,
+        "heuristic": result.heuristic,
+        "heuristic_seconds": result.heuristic_seconds,
+        "summary": {
+            "scenario": scenario.name,
+            "n_tasks": scenario.n_tasks,
+            "n_mapped": result.schedule.n_mapped,
+            "t100": result.t100,
+            "aet": result.aet,
+            "tec": result.tec,
+            "success": result.success,
+        },
+    }

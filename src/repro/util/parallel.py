@@ -8,40 +8,134 @@ weight-point) cells, each reproducible from its own
 The worker count comes from an explicit ``n_jobs`` argument, else the
 ``REPRO_JOBS`` environment variable (the CLI's ``--jobs`` flag sets it),
 else 1; ``n_jobs == 1`` runs serially in-process with no executor, so the
-serial path stays exactly the pre-parallel code path.
+serial path stays exactly the pre-parallel code path.  ``auto`` (either
+spelling) resolves to :func:`os.cpu_count`.
+
+Two entry points:
+
+* :func:`parallel_starmap` — one-shot fan-out; spins an executor up and
+  down around a single batch (the batch drivers' historical behaviour).
+* :class:`WorkerPool` — a *persistent* pool for long-running callers (the
+  :mod:`repro.service` daemon): the executor is created lazily on first
+  use and reused across batches, so steady-state request batches don't
+  pay process-startup cost.  ``parallel_starmap(..., pool=...)`` routes a
+  batch through an existing pool.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Sequence, TypeVar
+import threading
+from typing import Callable, Iterable, Sequence, TypeVar, Union
 
 T = TypeVar("T")
 
+JobsLike = Union[int, str, None]
 
-def resolve_jobs(n_jobs: int | None = None) -> int:
-    """Effective worker count: *n_jobs*, else ``$REPRO_JOBS``, else 1."""
+
+def resolve_jobs(n_jobs: JobsLike = None) -> int:
+    """Effective worker count: *n_jobs*, else ``$REPRO_JOBS``, else 1.
+
+    Either source accepts the literal string ``"auto"`` (case-insensitive),
+    which resolves to :func:`os.cpu_count` (floored at 1 when the count is
+    unknown).
+    """
     if n_jobs is None:
         raw = os.environ.get("REPRO_JOBS", "").strip()
         if raw:
-            try:
-                n_jobs = int(raw)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_JOBS must be an integer, got {raw!r}"
-                ) from None
+            n_jobs = raw
         else:
             n_jobs = 1
+    if isinstance(n_jobs, str):
+        text = n_jobs.strip()
+        if text.lower() == "auto":
+            n_jobs = os.cpu_count() or 1
+        else:
+            try:
+                n_jobs = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"jobs must be an integer or 'auto', got {n_jobs!r}"
+                ) from None
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     return n_jobs
 
 
+class WorkerPool:
+    """A reusable process pool with the :func:`parallel_starmap` contract.
+
+    The underlying :class:`~concurrent.futures.ProcessPoolExecutor` is
+    created lazily on the first batch whose effective job count exceeds 1
+    and then *kept* until :meth:`shutdown` — unlike
+    :func:`parallel_starmap`'s historical one-executor-per-call behaviour.
+    With ``n_jobs == 1`` no executor ever exists and every batch runs
+    serially in the calling thread, which keeps single-worker deployments
+    (and tests) free of process-spawn latency while preserving bit-exact
+    results at any job count.
+
+    Thread-safe: concurrent :meth:`starmap` calls from several dispatcher
+    threads share one executor.
+    """
+
+    def __init__(self, n_jobs: JobsLike = None) -> None:
+        self.n_jobs = resolve_jobs(n_jobs)
+        self._lock = threading.Lock()
+        self._executor = None
+        self._closed = False
+
+    def _ensure_executor(self):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is shut down")
+            if self._executor is None:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(max_workers=self.n_jobs)
+            return self._executor
+
+    @property
+    def started(self) -> bool:
+        """Whether the underlying executor has been created."""
+        return self._executor is not None
+
+    def starmap(
+        self,
+        fn: Callable[..., T],
+        argtuples: Iterable[Sequence],
+        chunksize: int | None = None,
+    ) -> list[T]:
+        """Order-preserving ``[fn(*args) for args in argtuples]`` over the
+        persistent pool (serial in-process when ``n_jobs == 1``)."""
+        argtuples = [tuple(args) for args in argtuples]
+        if self.n_jobs == 1 or len(argtuples) <= 1:
+            return [fn(*args) for args in argtuples]
+        if chunksize is None:
+            chunksize = max(1, len(argtuples) // (4 * self.n_jobs))
+        executor = self._ensure_executor()
+        return list(executor.map(fn, *zip(*argtuples), chunksize=chunksize))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the executor (idempotent); the pool is unusable afterwards."""
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
 def parallel_starmap(
     fn: Callable[..., T],
     argtuples: Iterable[Sequence],
-    n_jobs: int | None = None,
+    n_jobs: JobsLike = None,
     chunksize: int | None = None,
+    pool: WorkerPool | None = None,
 ) -> list[T]:
     """Order-preserving ``[fn(*args) for args in argtuples]``, fanned over
     a process pool when the effective job count exceeds 1.
@@ -49,7 +143,13 @@ def parallel_starmap(
     *fn* and every argument must be picklable (module-level functions,
     plain dataclasses).  Results come back in input order, so callers can
     keep the deterministic merge logic of their serial loops.
+
+    With *pool*, the batch runs through that persistent :class:`WorkerPool`
+    (its job count wins and no per-call executor is created); otherwise an
+    executor is spun up and torn down around this one call.
     """
+    if pool is not None:
+        return pool.starmap(fn, argtuples, chunksize=chunksize)
     argtuples = [tuple(args) for args in argtuples]
     n_jobs = resolve_jobs(n_jobs)
     if n_jobs == 1 or len(argtuples) <= 1:
@@ -58,5 +158,5 @@ def parallel_starmap(
 
     if chunksize is None:
         chunksize = max(1, len(argtuples) // (4 * n_jobs))
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        return list(pool.map(fn, *zip(*argtuples), chunksize=chunksize))
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool_:
+        return list(pool_.map(fn, *zip(*argtuples), chunksize=chunksize))

@@ -1,5 +1,7 @@
 """CLI report generator (`python -m repro.experiments`)."""
 
+import json
+import os
 import subprocess
 import sys
 
@@ -43,3 +45,64 @@ def test_module_invocation_subprocess():
     )
     assert proc.returncode == 0
     assert "Table 1" in proc.stdout
+
+
+def test_jobs_auto_flag_resolves_to_cpu_count(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    rc = main(["--scale", "smoke", "--only", "fig2", "--jobs", "auto",
+               "--perf-out", "-", "--out", str(tmp_path / "r.txt")])
+    assert rc == 0
+    # The flag is resolved once and pinned for downstream workers.
+    assert os.environ["REPRO_JOBS"] == str(os.cpu_count() or 1)
+
+
+def test_jobs_flag_rejects_garbage():
+    with pytest.raises(SystemExit):
+        main(["--scale", "smoke", "--only", "fig2", "--jobs", "many"])
+
+
+def test_out_creates_missing_parents(tmp_path):
+    out = tmp_path / "deep" / "nested" / "report.txt"
+    rc = main(["--scale", "smoke", "--only", "tables", "--out", str(out),
+               "--perf-out", str(tmp_path / "also" / "missing" / "perf.json")])
+    assert rc == 0
+    assert "Table 1" in out.read_text()
+    assert (tmp_path / "also" / "missing" / "perf.json").exists()
+
+
+class TestMapSubcommand:
+    def test_generate_to_stdout_is_canonical(self, capsysbinary):
+        rc = main(["map", "--generate", "8", "--seed", "1"])
+        assert rc == 0
+        doc = json.loads(capsysbinary.readouterr().out)
+        assert doc["kind"] == "mapping"
+        assert doc["scenario"] == "gen8-seed1"
+
+    def test_scenario_file_to_out_file(self, tmp_path, small_scenario):
+        from repro.io.serialization import save_scenario
+
+        src = tmp_path / "scenario.json"
+        save_scenario(small_scenario, src)
+        out = tmp_path / "new" / "dirs" / "mapping.json"
+        rc = main(["map", "--scenario", str(src), "--heuristic", "minmin",
+                   "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == "mapping"
+        assert doc["scenario"] == small_scenario.name
+
+    def test_ndjson_output(self, capsysbinary):
+        rc = main(["map", "--generate", "8", "--seed", "1", "--ndjson"])
+        assert rc == 0
+        lines = capsysbinary.readouterr().out.splitlines()
+        assert json.loads(lines[0])["record"] == "header"
+        assert json.loads(lines[-1])["record"] == "footer"
+
+    def test_unknown_heuristic_exits(self):
+        with pytest.raises(SystemExit):
+            main(["map", "--generate", "8", "--heuristic", "olb"])
+
+    def test_weights_on_baseline_exits(self):
+        with pytest.raises(SystemExit):
+            main(["map", "--generate", "8", "--heuristic", "greedy",
+                  "--alpha", "0.5"])

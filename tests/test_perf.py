@@ -5,9 +5,12 @@ from __future__ import annotations
 import json
 import math
 
+import pytest
+
 from repro.core.slrh import SLRH1, SlrhConfig
 from repro.perf import (
     PERF_SCHEMA,
+    Histogram,
     PerfCounters,
     comm_reuse_rate,
     hit_rate,
@@ -93,6 +96,80 @@ class TestWritePerfJson:
         assert doc["derived"]["plan_cache_comm_reuse_rate"] == 0.75
         # pair cache unused here -> NaN survives the JSON round trip
         assert math.isnan(doc["derived"]["plan_cache_pair_hit_rate"])
+
+
+class TestGauges:
+    def test_set_and_snapshot(self):
+        c = PerfCounters()
+        c.set_gauge("queue.depth", 3)
+        c.set_gauge("queue.depth", 5)  # last write wins
+        assert c.gauge("queue.depth") == 5.0
+        snap = c.gauges_snapshot()
+        c.set_gauge("queue.depth", 9)
+        assert snap == {"queue.depth": 5.0}
+
+    def test_merge_updates_gauges(self):
+        a = PerfCounters()
+        a.set_gauge("g", 1.0)
+        b = PerfCounters()
+        b.set_gauge("g", 2.0)
+        b.set_gauge("h", 7.0)
+        a.merge(b)
+        assert a.gauge("g") == 2.0
+        assert a.gauge("h") == 7.0
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50.0) == 50.0
+        assert h.percentile(95.0) == 95.0
+        assert h.percentile(99.0) == 99.0
+        assert h.mean == pytest.approx(50.5)
+
+    def test_summary_ordering(self):
+        h = Histogram()
+        for v in (0.4, 0.1, 0.9, 0.2, 0.7):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 5
+        assert s["p50"] <= s["p95"] <= s["p99"]
+        assert s["sum"] == pytest.approx(2.3)
+
+    def test_merge(self):
+        a = Histogram()
+        a.observe(1.0)
+        b = Histogram()
+        b.observe(3.0)
+        a.merge(b)
+        assert a.summary()["count"] == 2
+        assert a.mean == pytest.approx(2.0)
+
+    def test_counters_observe_and_merge_histograms(self):
+        a = PerfCounters()
+        a.observe("lat", 0.5)
+        b = PerfCounters()
+        b.observe("lat", 1.5)
+        a.merge(b)
+        summary = a.histograms_summary()
+        assert summary["lat"]["count"] == 2
+        assert summary["lat"]["mean"] == pytest.approx(1.0)
+
+    def test_latency_timer_observes(self):
+        c = PerfCounters()
+        with c.latency_timer("t"):
+            pass
+        assert c.histograms_summary()["t"]["count"] == 1
+
+
+class TestWritePerfJsonParents:
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "dir" / "perf.json"
+        assert not path.parent.exists()
+        write_perf_json(path, {"plan.pairs": 1.0})
+        assert json.loads(path.read_text())["counters"] == {"plan.pairs": 1.0}
 
 
 class TestTraceIntegration:

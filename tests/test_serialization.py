@@ -7,12 +7,17 @@ import pytest
 
 from repro.core.slrh import SLRH1
 from repro.io.serialization import (
+    canonical_json_bytes,
+    canonical_mapping_bytes,
+    iter_mapping_ndjson,
     load_mapping,
     load_scenario,
     mapping_from_dict,
+    mapping_from_ndjson,
     mapping_to_dict,
     save_mapping,
     save_scenario,
+    scenario_digest,
     scenario_from_dict,
     scenario_to_dict,
 )
@@ -113,3 +118,126 @@ class TestMappingRoundTrip:
             mapping_to_dict(result.schedule), small_scenario
         )
         assert restored.external_debits[0] == pytest.approx(amount)
+
+
+class TestChurnMappingRoundTrip:
+    """A mapping produced under churn (loss + rejoin, rolled-back work,
+    sunk-energy debits) must survive the serialise → replay cycle with
+    identical energy accounting."""
+
+    @pytest.fixture(scope="class")
+    def churned(self, small_scenario, mid_config):
+        from repro.sim.churn import ChurnEvent, run_with_churn
+
+        quarter = int(small_scenario.tau / 4 / 0.1)
+        outcome = run_with_churn(
+            small_scenario,
+            SLRH1(mid_config),
+            [
+                ChurnEvent(cycle=quarter, machine=1, kind="loss"),
+                ChurnEvent(cycle=2 * quarter, machine=1, kind="join"),
+            ],
+        )
+        assert outcome.total_rolled_back > 0  # the loss actually bit
+        return outcome
+
+    def test_replay_accepts_churned_mapping(self, churned, small_scenario):
+        schedule = churned.final.schedule
+        restored = mapping_from_dict(mapping_to_dict(schedule), small_scenario)
+        assert restored.n_mapped == schedule.n_mapped
+        assert restored.t100 == schedule.t100
+        for t, a in schedule.assignments.items():
+            b = restored.assignments[t]
+            assert (b.machine, b.version) == (a.machine, a.version)
+            assert b.start == pytest.approx(a.start)
+            assert b.finish == pytest.approx(a.finish)
+
+    def test_energy_accounting_identical(self, churned, small_scenario):
+        schedule = churned.final.schedule
+        restored = mapping_from_dict(mapping_to_dict(schedule), small_scenario)
+        # Sunk energy from rolled-back work travels via external debits.
+        sunk = sum(r.sunk_energy for r in churned.records)
+        assert sunk > 0
+        assert sum(restored.external_debits) == pytest.approx(
+            sum(schedule.external_debits)
+        )
+        assert restored.total_energy_consumed == pytest.approx(
+            schedule.total_energy_consumed
+        )
+        for j in range(small_scenario.n_machines):
+            assert restored.energy.remaining(j) == pytest.approx(
+                schedule.energy.remaining(j)
+            )
+
+    def test_canonical_bytes_stable_across_replay(self, churned, small_scenario):
+        schedule = churned.final.schedule
+        payload = canonical_mapping_bytes(schedule)
+        restored = mapping_from_dict(json.loads(payload), small_scenario)
+        assert canonical_mapping_bytes(restored) == payload
+
+
+class TestCanonicalEncoding:
+    def test_canonical_bytes_key_order_independent(self):
+        assert canonical_json_bytes({"b": 1, "a": [1.5, 2]}) == canonical_json_bytes(
+            {"a": [1.5, 2], "b": 1}
+        )
+        assert canonical_json_bytes({"a": 1}).endswith(b"\n")
+
+    def test_scenario_digest_matches_dict_and_object(self, small_scenario):
+        doc = scenario_to_dict(small_scenario)
+        assert scenario_digest(small_scenario) == scenario_digest(doc)
+        assert scenario_digest(doc).startswith("sha256:")
+
+    def test_scenario_digest_sensitive_to_content(self, small_scenario):
+        doc = scenario_to_dict(small_scenario)
+        other = json.loads(json.dumps(doc))
+        other["tau"] += 1.0
+        assert scenario_digest(other) != scenario_digest(doc)
+
+    def test_scenario_digest_rejects_non_scenarios(self):
+        with pytest.raises(ValueError):
+            scenario_digest({"kind": "mapping"})
+
+
+class TestNdjsonMappingStream:
+    @pytest.fixture(scope="class")
+    def mapped(self, small_scenario, mid_config):
+        return SLRH1(mid_config).map(small_scenario)
+
+    def test_roundtrip(self, mapped, small_scenario):
+        lines = list(iter_mapping_ndjson(mapped.schedule))
+        header = json.loads(lines[0])
+        assert header["record"] == "header"
+        assert header["n_assignments"] == mapped.schedule.n_mapped
+        assert len(lines) == mapped.schedule.n_mapped + 2
+        restored = mapping_from_ndjson(lines, small_scenario)
+        assert canonical_mapping_bytes(restored) == canonical_mapping_bytes(
+            mapped.schedule
+        )
+
+    def test_partial_prefix_replays(self, mapped, small_scenario):
+        lines = list(iter_mapping_ndjson(mapped.schedule))
+        # Header + first assignments only, no footer: a resumable prefix.
+        # The first committed tasks are roots-first, so a topological
+        # prefix of the stream replays cleanly.
+        prefix = lines[:2]
+        restored = mapping_from_ndjson(prefix, small_scenario)
+        assert restored.n_mapped == 1
+
+    def test_text_lines_accepted(self, mapped, small_scenario):
+        text = [line.decode() for line in iter_mapping_ndjson(mapped.schedule)]
+        restored = mapping_from_ndjson(text, small_scenario)
+        assert restored.n_mapped == mapped.schedule.n_mapped
+
+    def test_malformed_streams_rejected(self, mapped, small_scenario):
+        lines = list(iter_mapping_ndjson(mapped.schedule))
+        with pytest.raises(ValueError, match="empty"):
+            mapping_from_ndjson([], small_scenario)
+        with pytest.raises(ValueError, match="header"):
+            mapping_from_ndjson(lines[1:2], small_scenario)
+        with pytest.raises(ValueError, match="past its footer"):
+            mapping_from_ndjson(lines + lines[1:2], small_scenario)
+        with pytest.raises(ValueError, match="advertised"):
+            mapping_from_ndjson([lines[0], lines[-1]], small_scenario)
+        with pytest.raises(ValueError, match="duplicate"):
+            mapping_from_ndjson([lines[0], lines[0]], small_scenario)
