@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: fail when the hot path got meaningfully slower.
+
+Absolute wall-clock thresholds are useless in CI — runner speed varies by
+2-3x between machines and even between runs on the same shared runner.
+This gate therefore checks two machine-independent signal classes against a
+checked-in baseline (``benchmarks/BENCH_regression.json``):
+
+1. **Structural counters** (plan pairs computed, cache hits/misses, pools
+   built, commits, ticks) are fully deterministic for a fixed scenario +
+   heuristic, so they must match the baseline *exactly*.  A drifted
+   counter means the algorithm changed shape — intended changes must
+   regenerate the baseline with ``--update``.
+
+2. **Self-normalised speed ratios.**  Each measurement runs the same
+   mapping with the plan cache on and off (best of ``--repeats``); the
+   on/off speedup divides machine speed out.  The gate fails when a
+   measured speedup falls below ``baseline * (1 - tolerance)`` — with the
+   default ``--tolerance 0.25`` that is the ">25% hot-path slowdown"
+   contract.  Derived cache-hit rates are also checked (absolute drift
+   <= 0.05), catching cache-effectiveness regressions that do not change
+   the structural counters.
+
+Usage::
+
+    python benchmarks/check_regression.py              # gate against baseline
+    python benchmarks/check_regression.py --update     # regenerate baseline
+    python benchmarks/check_regression.py --out F.json # also write snapshot
+
+Exit status 0 = within tolerance, 1 = regression (or missing baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # script invocation: python benchmarks/check_...
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.exists() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.core.objective import Weights  # noqa: E402
+from repro.core.slrh import SLRH1, SLRH3, SlrhConfig  # noqa: E402
+from repro.heuristics import generate_named_scenario  # noqa: E402
+
+SCHEMA = "repro.bench.regression/1"
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_regression.json"
+
+#: The workload: one generated scenario, two SLRH variants that stress the
+#: planning hot path differently (SLRH-3 re-pools after every assignment).
+N_TASKS = 64
+SEED = 7
+ALPHA, BETA = 0.5, 0.2
+VARIANTS = {"slrh1": SLRH1, "slrh3": SLRH3}
+
+#: Deterministic structural counters that must match the baseline exactly.
+EXACT_COUNTERS = (
+    "plan.pairs",
+    "plan.cache.pair_hit",
+    "plan.cache.pair_miss",
+    "plan.cache.comm_hit",
+    "plan.cache.comm_miss",
+    "pool.builds",
+    "pool.members",
+    "commit.count",
+    "tick.count",
+    "pool.empty_ticks",
+)
+
+#: Derived rates checked with an absolute tolerance.
+RATE_TOLERANCE = 0.05
+
+
+def _best_seconds(scheduler_cls, scenario, weights, plan_cache: bool, repeats: int) -> tuple[float, dict]:
+    """Best-of-*repeats* wall seconds (and last perf snapshot) for one
+    variant with the plan cache on or off."""
+    best = float("inf")
+    perf: dict = {}
+    for _ in range(repeats):
+        scheduler = scheduler_cls(
+            SlrhConfig(weights=weights, plan_cache=plan_cache)
+        )
+        started = time.perf_counter()
+        result = scheduler.map(scenario)
+        best = min(best, time.perf_counter() - started)
+        perf = result.trace.perf or {}
+        if not result.success:
+            raise RuntimeError(
+                f"{scheduler_cls.__name__} failed to map the gate scenario — "
+                "the workload itself regressed"
+            )
+    return best, perf
+
+
+def measure(repeats: int = 3) -> dict:
+    """Run the gate workload and return the snapshot document."""
+    scenario = generate_named_scenario(N_TASKS, SEED)
+    weights = Weights.from_alpha_beta(ALPHA, BETA)
+    variants: dict[str, dict] = {}
+    for name, cls in VARIANTS.items():
+        cached_s, cached_perf = _best_seconds(cls, scenario, weights, True, repeats)
+        uncached_s, _ = _best_seconds(cls, scenario, weights, False, repeats)
+        pair_lookups = cached_perf.get("plan.cache.pair_hit", 0.0) + cached_perf.get(
+            "plan.cache.pair_miss", 0.0
+        )
+        variants[name] = {
+            "cached_seconds": round(cached_s, 6),
+            "uncached_seconds": round(uncached_s, 6),
+            "cache_speedup": round(uncached_s / cached_s, 4) if cached_s > 0 else 0.0,
+            "counters": {
+                k: cached_perf.get(k, 0.0) for k in EXACT_COUNTERS
+            },
+            "rates": {
+                "pair_hit_rate": round(
+                    cached_perf.get("plan.cache.pair_hit", 0.0) / pair_lookups, 6
+                )
+                if pair_lookups
+                else 0.0,
+            },
+        }
+    return {
+        "schema": SCHEMA,
+        "scenario": {"n_tasks": N_TASKS, "seed": SEED, "alpha": ALPHA, "beta": BETA},
+        "repeats": repeats,
+        "variants": variants,
+    }
+
+
+def compare(snapshot: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Every way *snapshot* regresses from *baseline* (empty = gate passes)."""
+    failures: list[str] = []
+    for name, base in baseline["variants"].items():
+        fresh = snapshot["variants"].get(name)
+        if fresh is None:
+            failures.append(f"{name}: variant missing from snapshot")
+            continue
+        for counter, expected in base["counters"].items():
+            got = fresh["counters"].get(counter)
+            if got != expected:
+                failures.append(
+                    f"{name}: structural counter {counter} drifted: "
+                    f"baseline {expected:g}, now {got:g} "
+                    "(algorithm changed shape; regenerate with --update if intended)"
+                )
+        for rate, expected in base["rates"].items():
+            got = fresh["rates"].get(rate, 0.0)
+            if abs(got - expected) > RATE_TOLERANCE:
+                failures.append(
+                    f"{name}: {rate} drifted by {abs(got - expected):.3f} "
+                    f"(baseline {expected:.3f}, now {got:.3f}, "
+                    f"tolerance {RATE_TOLERANCE})"
+                )
+        floor = base["cache_speedup"] * (1.0 - tolerance)
+        if fresh["cache_speedup"] < floor:
+            failures.append(
+                f"{name}: plan-cache speedup regressed: baseline "
+                f"{base['cache_speedup']:.2f}x, now {fresh['cache_speedup']:.2f}x "
+                f"(floor {floor:.2f}x = baseline - {tolerance:.0%}) — "
+                "the hot path got slower relative to the uncached path"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/check_regression.py",
+        description="Gate hot-path performance against the checked-in baseline.",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH),
+        help=f"baseline JSON (default: {BASELINE_PATH.name})",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="measure and overwrite the baseline instead of gating",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="also write the fresh snapshot JSON here",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per configuration (best-of; default 3)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional speedup loss before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = measure(repeats=max(1, args.repeats))
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"snapshot written to {out}")
+
+    baseline_path = Path(args.baseline)
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update first",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema") != SCHEMA:
+        print(f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}; "
+              "regenerate with --update", file=sys.stderr)
+        return 1
+
+    failures = compare(snapshot, baseline, args.tolerance)
+    for name, fresh in sorted(snapshot["variants"].items()):
+        base = baseline["variants"].get(name, {})
+        print(
+            f"{name}: cached {fresh['cached_seconds']*1e3:7.1f}ms  "
+            f"uncached {fresh['uncached_seconds']*1e3:7.1f}ms  "
+            f"speedup {fresh['cache_speedup']:.2f}x "
+            f"(baseline {base.get('cache_speedup', float('nan')):.2f}x)"
+        )
+    if failures:
+        print(f"\nPERF REGRESSION ({len(failures)} failure(s)):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

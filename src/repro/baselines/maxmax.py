@@ -148,6 +148,8 @@ class MaxMaxScheduler:
                 )
         schedule.perf.inc("map.runs")
         schedule.perf.inc("map.seconds", stopwatch.elapsed)
+        schedule.perf.inc("tick.count", trace.ticks)
+        schedule.perf.inc("pool.empty_ticks", trace.empty_pool_ticks)
         trace.perf = schedule.perf.snapshot()
         return MappingResult(
             schedule=schedule,

@@ -14,6 +14,13 @@ For one target machine at one clock tick the SLRH:
 
 The SLRH then walks the ordered pool and maps the first candidate whose
 start time falls inside the receding horizon.
+
+Observability (both opt-in, both zero-cost when off): the schedule's span
+tracer wraps pool construction (``pool.build``) and per-candidate version
+selection (``select``), and a :class:`repro.obs.ledger.DecisionLedger`
+passed by the caller records every filtered-out candidate — release-time
+misses, rule-(b) energy failures (with the joule shortfall) and losing
+versions (with the score margin).
 """
 
 from __future__ import annotations
@@ -23,6 +30,13 @@ from typing import Iterable
 
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.objective import ObjectiveFunction
+from repro.obs.ledger import (
+    ENERGY_INFEASIBLE,
+    LOST_ON_SCORE,
+    NOT_RELEASED,
+    DecisionLedger,
+)
+from repro.obs.spans import NULL_SPAN
 from repro.sim.schedule import ExecutionPlan, Schedule
 from repro.workload.versions import SECONDARY
 
@@ -47,36 +61,94 @@ def evaluate_versions(
     machine: int,
     not_before: float,
     insertion: bool = False,
+    ledger: DecisionLedger | None = None,
 ) -> Candidate | None:
     """Plan both versions of *task* on *machine*; return the better one.
 
     Plans that are energy-infeasible at commit granularity (e.g. the primary
     version no longer fits the battery, or a parent's machine cannot afford
     the transmit energy) are dropped; returns ``None`` when neither version
-    survives.
+    survives.  With *ledger*, the dropped version (infeasible or outscored)
+    is recorded with its reason and margin.
     """
     best: Candidate | None = None
-    for plan in schedule.plan_versions(
-        task, machine, not_before=not_before, insertion=insertion
-    ):
-        if not plan.feasible:
-            continue
-        score = objective.after_plan(schedule, plan)
-        # Explicit tie rule: on equal score prefer the version that counts
-        # toward T100 (the primary) — equal objective at lower resource
-        # commitment never loses T100.  Spelled out (rather than relying on
-        # plan_versions yielding the primary first) so a reordering of the
-        # evaluation loop cannot silently flip version choices.
-        if (
-            best is None
-            or score > best.score
-            or (
-                score == best.score
-                and plan.version.counts_toward_t100
-                and not best.version.counts_toward_t100
-            )
+    tracer = schedule.tracer
+    if not tracer.enabled and ledger is None:
+        # Disabled-observability fast path: this function runs once per
+        # ready task per machine per tick, so even a no-op span call (the
+        # kwargs dict alone) and loser bookkeeping are measurable.  Keep
+        # this loop free of both; the byte-identity tests in
+        # tests/test_obs.py pin that both paths select the same versions.
+        for plan in schedule.plan_versions(
+            task, machine, not_before=not_before, insertion=insertion
         ):
-            best = Candidate(task=task, plan=plan, score=score)
+            if not plan.feasible:
+                continue
+            score = objective.after_plan(schedule, plan)
+            # Explicit tie rule: on equal score prefer the version that counts
+            # toward T100 (the primary) — equal objective at lower resource
+            # commitment never loses T100.  Spelled out (rather than relying on
+            # plan_versions yielding the primary first) so a reordering of the
+            # evaluation loop cannot silently flip version choices.
+            if (
+                best is None
+                or score > best.score
+                or (
+                    score == best.score
+                    and plan.version.counts_toward_t100
+                    and not best.version.counts_toward_t100
+                )
+            ):
+                best = Candidate(task=task, plan=plan, score=score)
+        return best
+    loser: tuple[ExecutionPlan, float] | None = None
+    span = tracer.span("select", task=task, machine=machine) if tracer.enabled else NULL_SPAN
+    with span:
+        for plan in schedule.plan_versions(
+            task, machine, not_before=not_before, insertion=insertion
+        ):
+            if not plan.feasible:
+                if ledger is not None:
+                    ledger.reject(
+                        clock=not_before,
+                        task=task,
+                        machine=machine,
+                        version=plan.version.value,
+                        reason=ENERGY_INFEASIBLE,
+                        detail=plan.reason,
+                    )
+                continue
+            score = objective.after_plan(schedule, plan)
+            # Same tie rule as the fast path above — keep the two in sync.
+            if (
+                best is None
+                or score > best.score
+                or (
+                    score == best.score
+                    and plan.version.counts_toward_t100
+                    and not best.version.counts_toward_t100
+                )
+            ):
+                if best is not None:
+                    loser = (best.plan, best.score)
+                best = Candidate(task=task, plan=plan, score=score)
+            else:
+                loser = (plan, score)
+    if ledger is not None and best is not None and loser is not None:
+        lost_plan, lost_score = loser
+        ledger.reject(
+            clock=not_before,
+            task=task,
+            machine=machine,
+            version=lost_plan.version.value,
+            reason=LOST_ON_SCORE,
+            margin=best.score - lost_score,
+            score=lost_score,
+            detail=(
+                f"version {lost_plan.version.value} outscored by "
+                f"{best.version.value} ({lost_score:.6g} vs {best.score:.6g})"
+            ),
+        )
     return best
 
 
@@ -88,6 +160,7 @@ def build_candidate_pool(
     not_before: float,
     tasks: Iterable[int] | None = None,
     insertion: bool = False,
+    ledger: DecisionLedger | None = None,
 ) -> list[Candidate]:
     """Build the ordered candidate pool U for *machine* at time *not_before*.
 
@@ -99,6 +172,10 @@ def build_candidate_pool(
         it re-pools after each assignment.
     insertion:
         Passed through to planning (Max-Max hole-filling uses ``True``).
+    ledger:
+        Optional decision ledger; every candidate filtered out of U is
+        recorded with its reason code and margin (see
+        :mod:`repro.obs.ledger`).
 
     Returns the pool ordered by objective value, maximum first; ties broken
     by task id for determinism.
@@ -107,21 +184,66 @@ def build_candidate_pool(
         tasks = schedule.ready_tasks()
     scenario = schedule.scenario
     pool: list[Candidate] = []
-    with schedule.perf.timer("phase.pool_seconds"):
-        for task in tasks:
-            # A subtask the grid has not yet *seen* (release time in the
-            # future) cannot enter the pool — the dynamic heuristic has no
-            # advance knowledge of it (§IV).
-            if scenario.release(task) > not_before + 1e-9:
-                continue
-            if not checker.is_feasible(schedule, task, machine, SECONDARY):
-                continue
-            candidate = evaluate_versions(
-                schedule, objective, task, machine, not_before, insertion=insertion
-            )
-            if candidate is not None:
-                pool.append(candidate)
-        pool.sort(key=lambda c: (-c.score, c.task))
+    tracer = schedule.tracer
+    span = (
+        tracer.span("pool.build", machine=machine, clock=not_before)
+        if tracer.enabled
+        else NULL_SPAN
+    )
+    with span:
+        with schedule.perf.timer("phase.pool_seconds"):
+            for task in tasks:
+                # A subtask the grid has not yet *seen* (release time in the
+                # future) cannot enter the pool — the dynamic heuristic has no
+                # advance knowledge of it (§IV).
+                release = scenario.release(task)
+                if release > not_before + 1e-9:
+                    if ledger is not None:
+                        ledger.reject(
+                            clock=not_before,
+                            task=task,
+                            machine=machine,
+                            reason=NOT_RELEASED,
+                            margin=release - not_before,
+                            detail=f"released at {release:.6g}s",
+                        )
+                    continue
+                if not checker.is_feasible(schedule, task, machine, SECONDARY):
+                    # Only a genuine rule-(b) failure is ledger-worthy; a
+                    # mapped task or unmapped parents (possible when callers
+                    # pass an explicit task set) is not a rejection.
+                    if ledger is not None and task not in schedule.assignments and all(
+                        p in schedule.assignments
+                        for p in scenario.dag.parents[task]
+                    ):
+                        required = checker.required_energy(task, machine, SECONDARY)
+                        available = schedule.available_energy(machine)
+                        ledger.reject(
+                            clock=not_before,
+                            task=task,
+                            machine=machine,
+                            version=SECONDARY.value,
+                            reason=ENERGY_INFEASIBLE,
+                            margin=max(0.0, required - available),
+                            detail=(
+                                f"rule (b): secondary-version reserve "
+                                f"{required:.6g} J exceeds available "
+                                f"{available:.6g} J"
+                            ),
+                        )
+                    continue
+                candidate = evaluate_versions(
+                    schedule,
+                    objective,
+                    task,
+                    machine,
+                    not_before,
+                    insertion=insertion,
+                    ledger=ledger,
+                )
+                if candidate is not None:
+                    pool.append(candidate)
+            pool.sort(key=lambda c: (-c.score, c.task))
     schedule.perf.inc("pool.builds")
     schedule.perf.inc("pool.members", len(pool))
     return pool

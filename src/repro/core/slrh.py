@@ -34,6 +34,14 @@ from dataclasses import dataclass, field
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.objective import ObjectiveFunction, Weights
 from repro.core.pool import build_candidate_pool
+from repro.obs.ledger import (
+    DEADLINE_INFEASIBLE,
+    ENERGY_INFEASIBLE,
+    LOST_ON_SCORE,
+    OUTSIDE_HORIZON,
+    DecisionLedger,
+)
+from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.sim.clock import SimulationClock
 from repro.sim.schedule import Schedule
 from repro.sim.trace import MappingTrace
@@ -77,6 +85,12 @@ class SlrhConfig:
     #: scheduled no earlier than t + latency, modelling an on-board
     #: controller that cannot act instantaneously.
     decision_latency_cycles: int = 0
+    #: Record candidate *rejections* (with reason codes and margins) into
+    #: a :class:`repro.obs.ledger.DecisionLedger` on the mapping trace —
+    #: the input of ``python -m repro.experiments explain``.  Recording
+    #: never changes the mapping; off by default so the hot path pays
+    #: nothing.
+    ledger: bool = False
 
 
 #: Smallest heuristic runtime treated as distinguishable from zero when
@@ -194,8 +208,16 @@ class SlrhScheduler:
     ) -> bool:
         """Walk the ordered pool; commit the first candidate whose start
         falls inside the horizon.  With *replan*, each candidate's plan is
-        recomputed first (SLRH-2's stale-pool walk)."""
-        for candidate in pool:
+        recomputed first (SLRH-2's stale-pool walk).
+
+        When the trace carries a decision ledger, every pool member that
+        does *not* win this walk is recorded: horizon misses with their
+        overshoot, replan infeasibilities, and — once a winner commits —
+        the rest of the pool as ``lost_on_score`` against it (this is the
+        per-tick "machine rejected" record the ``explain`` CLI surfaces).
+        """
+        ledger = trace.ledger
+        for index, candidate in enumerate(pool):
             plan = candidate.plan
             if replan:
                 if schedule.is_mapped(candidate.task):
@@ -207,6 +229,15 @@ class SlrhScheduler:
                     not_before=self._decision_time(clock),
                 )
                 if not plan.feasible:
+                    if ledger is not None:
+                        ledger.reject(
+                            clock=clock.now,
+                            task=candidate.task,
+                            machine=plan.machine,
+                            version=plan.version.value,
+                            reason=ENERGY_INFEASIBLE,
+                            detail=f"stale-pool replan: {plan.reason}",
+                        )
                     continue
             # §IV: horizon eligibility is judged on the "earliest possible
             # starting time ... given precedence and communication
@@ -215,17 +246,63 @@ class SlrhScheduler:
             # notions coincide; for SLRH-2/3 this is what lets one machine
             # take several assignments in a single tick.)
             if not clock.within_horizon(plan.data_ready):
+                if ledger is not None:
+                    ledger.reject(
+                        clock=clock.now,
+                        task=candidate.task,
+                        machine=plan.machine,
+                        version=plan.version.value,
+                        reason=OUTSIDE_HORIZON,
+                        margin=plan.data_ready - clock.horizon_end,
+                        score=candidate.score,
+                        detail=(
+                            f"data ready {plan.data_ready:.6g}s is past the "
+                            f"horizon end {clock.horizon_end:.6g}s"
+                        ),
+                    )
                 continue
-            schedule.commit(plan)
-            trace.record_commit(
-                clock=clock.now,
-                plan=plan,
-                objective=objective.of_schedule(schedule),
-                pool_size=len(pool),
-                t100=schedule.t100,
-                tec=schedule.total_energy_consumed,
-                aet=schedule.makespan,
+            tracer = schedule.tracer
+            span = (
+                tracer.span(
+                    "commit",
+                    task=plan.task,
+                    machine=plan.machine,
+                    version=plan.version.value,
+                )
+                if tracer.enabled
+                else NULL_SPAN
             )
+            with span:
+                schedule.commit(plan)
+                trace.record_commit(
+                    clock=clock.now,
+                    plan=plan,
+                    objective=objective.of_schedule(schedule),
+                    pool_size=len(pool),
+                    t100=schedule.t100,
+                    tec=schedule.total_energy_consumed,
+                    aet=schedule.makespan,
+                )
+            if ledger is not None:
+                # Everyone below the winner lost this machine this walk.
+                for loser in pool[index + 1:]:
+                    if schedule.is_mapped(loser.task):
+                        continue
+                    ledger.reject(
+                        clock=clock.now,
+                        task=loser.task,
+                        machine=loser.plan.machine,
+                        version=loser.version.value,
+                        reason=LOST_ON_SCORE,
+                        margin=candidate.score - loser.score,
+                        score=loser.score,
+                        winner=candidate.task,
+                        detail=(
+                            f"task {candidate.task} won machine "
+                            f"{loser.plan.machine} ({candidate.score:.6g} vs "
+                            f"{loser.score:.6g})"
+                        ),
+                    )
             return True
         return False
 
@@ -235,6 +312,7 @@ class SlrhScheduler:
         schedule: Schedule | None = None,
         start_cycle: int = 0,
         stop_cycle: int | None = None,
+        tracer=None,
     ) -> MappingResult:
         """Run the heuristic to completion (or τ) on *scenario*.
 
@@ -250,12 +328,23 @@ class SlrhScheduler:
             Pause the loop once the clock reaches this cycle (exclusive),
             leaving the schedule partially built — the churn engine runs
             the heuristic segment-by-segment between grid events.
+        tracer:
+            Optional :class:`repro.obs.spans.Tracer`; records the
+            ``map → tick → pool.build/select/commit`` span tree for
+            Chrome-trace export.  ``None`` (default) uses the shared
+            no-op tracer.
         """
         cfg = self.config
+        if tracer is None:
+            tracer = NULL_TRACER
         if schedule is None:
-            schedule = Schedule(scenario, plan_cache=cfg.plan_cache)
+            schedule = Schedule(scenario, plan_cache=cfg.plan_cache, tracer=tracer)
         elif schedule.scenario is not scenario:
             raise ValueError("schedule was built for a different scenario")
+        elif tracer is not NULL_TRACER:
+            schedule.tracer = tracer
+        if tracer.enabled and tracer.perf is None:
+            tracer.perf = schedule.perf
         checker = FeasibilityChecker(scenario, comm_reserve=cfg.comm_reserve)
         objective = ObjectiveFunction.for_scenario(
             scenario, cfg.weights, aet_mode=cfg.aet_mode
@@ -266,7 +355,7 @@ class SlrhScheduler:
             cycle_seconds=cfg.cycle_seconds,
             cycle=start_cycle,
         )
-        trace = MappingTrace()
+        trace = MappingTrace(ledger=DecisionLedger() if cfg.ledger else None)
         max_ticks = cfg.max_ticks
         if max_ticks is None:
             max_ticks = int(math.ceil(scenario.tau / clock.delta_t_seconds)) + 2
@@ -286,29 +375,65 @@ class SlrhScheduler:
             return list(range(n))
 
         stopwatch = Stopwatch()
-        with stopwatch:
+        tracing = tracer.enabled
+        with stopwatch, (
+            tracer.span("map", heuristic=self.name, scenario=scenario.name)
+            if tracing
+            else NULL_SPAN
+        ):
             for tick_index in range(max_ticks):
                 if stop_cycle is not None and clock.cycle >= stop_cycle:
                     break
                 trace.note_tick()
-                for j in scan_order(tick_index):
-                    trace.note_machine_scan()
-                    if not schedule.machine_available(j, clock.now):
-                        continue
-                    made = self._serve_machine(
-                        schedule, j, clock, checker, objective, trace
-                    )
-                    if made == 0:
-                        trace.note_empty_pool()
-                    if schedule.is_complete:
-                        break
+                tick_span = (
+                    tracer.span("tick", tick=tick_index, clock=clock.now)
+                    if tracing
+                    else NULL_SPAN
+                )
+                with tick_span:
+                    for j in scan_order(tick_index):
+                        trace.note_machine_scan()
+                        if not schedule.machine_available(j, clock.now):
+                            continue
+                        made = self._serve_machine(
+                            schedule, j, clock, checker, objective, trace
+                        )
+                        if made == 0:
+                            trace.note_empty_pool()
+                        if schedule.is_complete:
+                            break
                 if schedule.is_complete:
                     break
                 clock.tick()
                 if clock.exceeded(scenario.tau):
                     break
+        if (
+            trace.ledger is not None
+            and not schedule.is_complete
+            and stop_cycle is None
+            and clock.exceeded(scenario.tau)
+        ):
+            # The run is incomplete because the clock passed τ: record the
+            # terminal verdict for every task left behind.
+            for task in range(scenario.n_tasks):
+                if task not in schedule.assignments:
+                    trace.ledger.reject(
+                        clock=clock.now,
+                        task=task,
+                        machine=-1,
+                        reason=DEADLINE_INFEASIBLE,
+                        margin=clock.now - scenario.tau,
+                        detail=(
+                            f"clock {clock.now:.6g}s passed tau "
+                            f"{scenario.tau:.6g}s with the task unmapped"
+                        ),
+                    )
         schedule.perf.inc("map.runs")
         schedule.perf.inc("map.seconds", stopwatch.elapsed)
+        # Tick-level starvation surfaced as counters so it reaches the
+        # perf JSON and the daemon's /metrics, not just in-memory traces.
+        schedule.perf.inc("tick.count", trace.ticks)
+        schedule.perf.inc("pool.empty_ticks", trace.empty_pool_ticks)
         trace.perf = schedule.perf.snapshot()
         return MappingResult(
             schedule=schedule,
@@ -328,6 +453,7 @@ class SLRH1(SlrhScheduler):
         pool = build_candidate_pool(
             schedule, checker, objective, machine,
             not_before=self._decision_time(clock),
+            ledger=trace.ledger,
         )
         if not pool:
             return 0
@@ -349,6 +475,7 @@ class SLRH2(SlrhScheduler):
         pool = build_candidate_pool(
             schedule, checker, objective, machine,
             not_before=self._decision_time(clock),
+            ledger=trace.ledger,
         )
         if not pool:
             return 0
@@ -380,7 +507,8 @@ class SLRH3(SlrhScheduler):
         while True:
             pool = build_candidate_pool(
                 schedule, checker, objective, machine,
-            not_before=self._decision_time(clock),
+                not_before=self._decision_time(clock),
+                ledger=trace.ledger,
             )
             if not pool:
                 break

@@ -9,6 +9,9 @@ Usage::
     python -m repro.experiments map (--scenario FILE | --generate N [--seed S])
                                     [--heuristic NAME] [--alpha A --beta B]
                                     [--out PATH|-] [--ndjson]
+                                    [--trace-out TRACE.json] [--ledger-out LOG.ndjson]
+
+    python -m repro.experiments explain LOG.ndjson --task T [--tick K]
 
 The report form prints every table and figure the paper reports (at the
 selected scale) and optionally writes the combined report to a file.
@@ -26,6 +29,14 @@ The ``map`` form is the batch twin of the :mod:`repro.service` daemon's
 (:func:`repro.io.serialization.canonical_mapping_bytes`), so for a fixed
 scenario + seed the two surfaces are byte-identical — the service test
 suite enforces exactly that.
+
+Observability extras on ``map`` (SLRH family only; neither changes the
+mapping bytes): ``--trace-out`` writes a Chrome trace-event JSON of the
+span tree (load it in Perfetto / ``chrome://tracing`` to see the whole
+mapping — pool build, version select, commit — laid out per tick), and
+``--ledger-out`` writes the decision ledger as NDJSON.  The ``explain``
+form reads such a ledger back and reports *why* a task landed where it
+did — which machines rejected it, at which reason and by what margin.
 """
 
 from __future__ import annotations
@@ -93,11 +104,24 @@ def map_main(argv: list[str] | None = None) -> int:
         "--ndjson", action="store_true",
         help="emit the streamed NDJSON mapping encoding instead of one document",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="TRACE.json",
+        help="write a Chrome trace-event JSON of the mapping's span tree "
+        "(view in Perfetto; SLRH family only)",
+    )
+    parser.add_argument(
+        "--ledger-out", default=None, metavar="LOG.ndjson",
+        help="write the decision ledger (candidate rejections with reason "
+        "codes) as NDJSON; read back with the 'explain' subcommand "
+        "(SLRH family only)",
+    )
     args = parser.parse_args(argv)
 
     import json as _json
 
     from repro.heuristics import generate_named_scenario
+    from repro.obs.ledger import write_decision_log
+    from repro.obs.spans import Tracer
 
     if args.scenario is not None:
         doc = _json.loads(pathlib.Path(args.scenario).read_text())
@@ -105,11 +129,34 @@ def map_main(argv: list[str] | None = None) -> int:
         # Round-trip through the document form so the mapped Scenario is
         # bit-for-bit the one a service client would register.
         doc = scenario_to_dict(generate_named_scenario(args.generate, args.seed))
+    tracer = Tracer() if args.trace_out else None
     try:
         scenario = scenario_from_dict(doc)
-        result = run_heuristic(args.heuristic, scenario, args.alpha, args.beta)
+        result = run_heuristic(
+            args.heuristic,
+            scenario,
+            args.alpha,
+            args.beta,
+            ledger=bool(args.ledger_out),
+            tracer=tracer,
+        )
     except (KeyError, ValueError) as exc:
         parser.error(str(exc))
+    if args.trace_out:
+        trace_path = pathlib.Path(args.trace_out)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        tracer.write_chrome_trace(trace_path)
+        print(f"span trace ({len(tracer.events)} events) -> {trace_path}",
+              file=sys.stderr)
+    if args.ledger_out:
+        ledger_path = pathlib.Path(args.ledger_out)
+        ledger_path.parent.mkdir(parents=True, exist_ok=True)
+        write_decision_log(ledger_path, result)
+        print(
+            f"decision ledger ({len(result.trace.ledger.records)} rejections) "
+            f"-> {ledger_path}",
+            file=sys.stderr,
+        )
     if args.ndjson:
         payload = b"".join(iter_mapping_ndjson(result.schedule))
     else:
@@ -126,6 +173,50 @@ def map_main(argv: list[str] | None = None) -> int:
             f"{scenario.n_tasks} tasks of {scenario.name} "
             f"(success={result.success}) -> {out}"
         )
+    return 0
+
+
+def explain_main(argv: list[str] | None = None) -> int:
+    """The ``explain`` subcommand: replay a decision ledger into a "why"
+    report for one task (or list the tasks the log knows about)."""
+    from repro.obs.ledger import explain_report, explain_tasks, read_decision_log
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments explain",
+        description="Explain why a task landed where it did, from a decision "
+        "ledger written by `map --ledger-out`.",
+    )
+    parser.add_argument("log", help="decision-ledger NDJSON file")
+    parser.add_argument(
+        "--task", type=int, default=None, metavar="T",
+        help="task id to explain (omit to list the tasks in the log)",
+    )
+    parser.add_argument(
+        "--tick", type=int, default=None, metavar="K",
+        help="restrict the rejection history to heuristic tick K",
+    )
+    args = parser.parse_args(argv)
+    try:
+        log = read_decision_log(args.log)
+    except OSError as exc:
+        parser.error(f"cannot read {args.log}: {exc.strerror or exc}")
+    except (ValueError, KeyError) as exc:
+        parser.error(str(exc))
+    if args.task is None:
+        tasks = explain_tasks(log)
+        header = log["header"]
+        print(
+            f"{header.get('scenario', '?')} via {header.get('heuristic', '?')}: "
+            f"{len(log['commits'])} commits, {len(log['rejects'])} rejections"
+        )
+        print(f"tasks: {', '.join(str(t) for t in tasks)}")
+        print("rerun with --task T for the per-task report")
+        return 0
+    try:
+        print(explain_report(log, args.task, tick=args.tick))
+    except BrokenPipeError:  # report piped into head/less that exited early
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
     return 0
 
 
@@ -158,12 +249,18 @@ def build_report(scale, only: list[str]) -> str:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    from repro.obs.log import configure_from_env
+
+    configure_from_env()
     if argv and argv[0] == "map":
         return map_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures "
-        "(or `map` one scenario; see `map --help`).",
+        "(or `map` one scenario / `explain` a decision ledger; "
+        "see `map --help` and `explain --help`).",
     )
     parser.add_argument(
         "--scale", choices=sorted(_PRESETS), default=None,

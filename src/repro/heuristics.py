@@ -35,14 +35,16 @@ DEFAULT_ALPHA = 0.5
 DEFAULT_BETA = 0.2
 
 
-def _slrh(cls) -> Callable[[Weights], object]:
-    def build(weights: Weights):
-        return cls(SlrhConfig(weights=weights))
+def _slrh(cls) -> Callable[..., object]:
+    def build(weights: Weights, ledger: bool = False):
+        return cls(SlrhConfig(weights=weights, ledger=ledger))
 
     return build
 
 
-def _maxmax(weights: Weights):
+def _maxmax(weights: Weights, ledger: bool = False):
+    if ledger:
+        raise ValueError("the decision ledger is only supported by the SLRH family")
     return MaxMaxScheduler(MaxMaxConfig(weights=weights))
 
 
@@ -65,6 +67,10 @@ HEURISTIC_NAMES: tuple[str, ...] = tuple(_WEIGHTED) + tuple(_UNWEIGHTED)
 
 #: Canonical names of the heuristics whose objective uses (α, β).
 WEIGHTED_HEURISTICS: tuple[str, ...] = tuple(_WEIGHTED)
+
+#: Canonical names of the clock-driven SLRH variants — the heuristics that
+#: support the decision ledger and span tracing (:mod:`repro.obs`).
+SLRH_FAMILY: tuple[str, ...] = ("slrh1", "slrh2", "slrh3")
 
 _ALIASES: dict[str, str] = {}
 for canonical, (display, _) in {**_WEIGHTED, **_UNWEIGHTED}.items():
@@ -93,21 +99,24 @@ def display_name(name: str) -> str:
     return table[canonical][0]
 
 
-def make_scheduler(name: str, weights: Weights | None = None):
+def make_scheduler(name: str, weights: Weights | None = None, ledger: bool = False):
     """Build the scheduler registered under *name*.
 
     *weights* applies to the weighted heuristics (SLRH family, Max-Max)
     and defaults to ``Weights.from_alpha_beta(0.5, 0.2)``; the weight-free
     baselines (Min-Min, Greedy) reject explicit weights rather than
-    silently ignoring them.
+    silently ignoring them.  *ledger* turns the decision ledger on
+    (:mod:`repro.obs.ledger`; SLRH family only — other heuristics raise).
     """
     canonical = normalize_heuristic(name)
     if canonical in _WEIGHTED:
         if weights is None:
             weights = Weights.from_alpha_beta(DEFAULT_ALPHA, DEFAULT_BETA)
-        return _WEIGHTED[canonical][1](weights)
+        return _WEIGHTED[canonical][1](weights, ledger=ledger)
     if weights is not None:
         raise ValueError(f"heuristic {canonical!r} does not take objective weights")
+    if ledger:
+        raise ValueError("the decision ledger is only supported by the SLRH family")
     return _UNWEIGHTED[canonical][1]()
 
 
@@ -116,23 +125,36 @@ def run_heuristic(
     scenario: Scenario,
     alpha: float | None = None,
     beta: float | None = None,
+    *,
+    ledger: bool = False,
+    tracer=None,
 ) -> MappingResult:
     """Map *scenario* with the heuristic registered under *name*.
 
     (α, β) apply to the weighted heuristics and default to
     (:data:`DEFAULT_ALPHA`, :data:`DEFAULT_BETA`); supplying them for a
     weight-free baseline is an error.
+
+    *ledger* records candidate rejections on the result's trace and
+    *tracer* (a :class:`repro.obs.spans.Tracer`) records the span tree;
+    both require an SLRH-family heuristic (:data:`SLRH_FAMILY`) and both
+    leave the mapping bytes untouched — they only add observability.
     """
     canonical = normalize_heuristic(name)
+    if tracer is not None and canonical not in SLRH_FAMILY:
+        raise ValueError("span tracing is only supported by the SLRH family")
     if canonical in _WEIGHTED:
         weights = Weights.from_alpha_beta(
             DEFAULT_ALPHA if alpha is None else float(alpha),
             DEFAULT_BETA if beta is None else float(beta),
         )
-        return make_scheduler(canonical, weights).map(scenario)
+        scheduler = make_scheduler(canonical, weights, ledger=ledger)
+        if canonical in SLRH_FAMILY:
+            return scheduler.map(scenario, tracer=tracer)
+        return scheduler.map(scenario)
     if alpha is not None or beta is not None:
         raise ValueError(f"heuristic {canonical!r} does not take objective weights")
-    return make_scheduler(canonical).map(scenario)
+    return make_scheduler(canonical, ledger=ledger).map(scenario)
 
 
 def generate_named_scenario(n_tasks: int, seed: int) -> Scenario:

@@ -1,0 +1,75 @@
+"""Observability layer: structured logs, span traces, decision ledger,
+Prometheus exposition.
+
+Stdlib-only and **disabled by default** — with nothing configured every
+hook in the engine and the service degrades to a single attribute check,
+so mapping output stays byte-identical and the hot paths keep their
+throughput (the acceptance bar is <2% overhead on
+``benchmarks/test_heuristic_throughput.py``).
+
+Four pieces (see DESIGN.md §10):
+
+* :mod:`repro.obs.log` — NDJSON event logging on top of :mod:`logging`:
+  one JSON object per line, context binding, enabled via
+  ``REPRO_OBS_LOG`` / :func:`~repro.obs.log.configure`.
+* :mod:`repro.obs.spans` — context-manager span tracing over the
+  monotonic clock; feeds :class:`repro.perf.PerfCounters` histograms and
+  exports Chrome trace-event JSON viewable in Perfetto
+  (``python -m repro.experiments map --trace-out``).
+* :mod:`repro.obs.ledger` — the decision ledger: per-candidate rejection
+  records (``energy_infeasible``, ``outside_horizon``, ``lost_on_score``
+  with numeric margins …) behind ``SlrhConfig(ledger=True)``, replayed by
+  ``python -m repro.experiments explain``.
+* :mod:`repro.obs.prom` — Prometheus text exposition rendered from the
+  ``repro.perf/2`` snapshot, served by the daemon's ``/metrics`` under
+  content negotiation.
+"""
+
+from repro.obs.ledger import (
+    DEADLINE_INFEASIBLE,
+    ENERGY_INFEASIBLE,
+    LOST_ON_SCORE,
+    NOT_RELEASED,
+    OUTSIDE_HORIZON,
+    REASON_CODES,
+    DecisionLedger,
+    LedgerRecord,
+    explain_report,
+    read_decision_log,
+    write_decision_log,
+)
+from repro.obs.log import (
+    EventLogger,
+    configure,
+    configure_from_env,
+    disable,
+    enabled,
+    get_logger,
+)
+from repro.obs.prom import render_prometheus, sanitize_metric_name
+from repro.obs.spans import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "DEADLINE_INFEASIBLE",
+    "ENERGY_INFEASIBLE",
+    "LOST_ON_SCORE",
+    "NOT_RELEASED",
+    "NULL_TRACER",
+    "OUTSIDE_HORIZON",
+    "REASON_CODES",
+    "DecisionLedger",
+    "EventLogger",
+    "LedgerRecord",
+    "Span",
+    "Tracer",
+    "configure",
+    "configure_from_env",
+    "disable",
+    "enabled",
+    "explain_report",
+    "get_logger",
+    "read_decision_log",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "write_decision_log",
+]

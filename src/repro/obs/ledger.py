@@ -1,0 +1,345 @@
+"""The decision ledger: why candidates were *rejected*, not just committed.
+
+The paper's SLRH "stored a historical record of all critical parameters
+for later analysis" (§IV); :class:`repro.sim.trace.MappingTrace` records
+the commits, but a commit log cannot answer "why did subtask t drop to
+its secondary version on machine j at tick k".  The ledger records the
+negative space: one :class:`LedgerRecord` per rejected candidate, with a
+reason code and a numeric margin, behind
+``SlrhConfig(ledger=True)`` (off by default — recording is opt-in and
+never changes the mapping; the differential test pins that).
+
+Reason codes
+------------
+
+``energy_infeasible``
+    The §IV rule-(b) check failed (secondary-version execution energy
+    plus the worst-case outgoing-comm reserve exceeds the machine's
+    available battery), or a tentative plan's energy verdict failed at
+    commit granularity.  Margin: the shortfall in joules.
+``outside_horizon``
+    The candidate's data-ready instant falls beyond the receding horizon
+    ``t + H`` at this tick.  Margin: seconds past the horizon end.
+``lost_on_score``
+    A feasible candidate (or version) was outscored.  Margin: the winner's
+    objective value minus the loser's — "how far from winning".
+``deadline_infeasible``
+    The clock passed τ with the task still unmapped (run-level; the
+    mapping is incomplete).  Margin: seconds past τ.
+``not_released``
+    The subtask's release time is still in the future at this tick — the
+    dynamic heuristic has no advance knowledge of it (§IV).  Margin:
+    seconds until release.
+
+Persistence is NDJSON (:func:`write_decision_log` /
+:func:`read_decision_log`): a header record, the commit records from the
+:class:`~repro.sim.trace.MappingTrace`, every ledger rejection, and a
+summary.  ``python -m repro.experiments explain <trace> --task T`` replays
+that file into the human-readable report of :func:`explain_report`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable
+
+ENERGY_INFEASIBLE = "energy_infeasible"
+DEADLINE_INFEASIBLE = "deadline_infeasible"
+OUTSIDE_HORIZON = "outside_horizon"
+LOST_ON_SCORE = "lost_on_score"
+NOT_RELEASED = "not_released"
+
+#: Every reason code a ledger record may carry.
+REASON_CODES = (
+    ENERGY_INFEASIBLE,
+    DEADLINE_INFEASIBLE,
+    OUTSIDE_HORIZON,
+    LOST_ON_SCORE,
+    NOT_RELEASED,
+)
+
+#: On-disk schema identifier of the decision-log NDJSON.
+LEDGER_SCHEMA = "repro.obs.ledger/1"
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """One rejected candidate: who, where, when, why, and by how much."""
+
+    tick: int
+    clock: float
+    task: int
+    #: Target machine of the rejected candidate; -1 for run-level records
+    #: (``deadline_infeasible`` has no machine).
+    machine: int
+    reason: str
+    #: Version the rejection applies to (``primary``/``secondary``), or
+    #: ``None`` when it applies to the task as a whole.
+    version: str | None = None
+    #: Numeric distance from acceptance (units depend on the reason; see
+    #: module docstring).  Always >= 0.
+    margin: float | None = None
+    #: The loser's objective value, where one was computed.
+    score: float | None = None
+    #: Task id that beat this candidate (``lost_on_score`` pool walks).
+    winner: int | None = None
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        doc = {k: v for k, v in asdict(self).items() if v is not None and v != ""}
+        doc["event"] = "reject"
+        return doc
+
+
+class DecisionLedger:
+    """Append-only rejection log for one mapping run.
+
+    The owning :class:`~repro.sim.trace.MappingTrace` advances
+    :attr:`tick` via ``note_tick``; recorders only supply the
+    within-tick facts.  ``None`` everywhere in the hot path means
+    "ledger disabled" — recording happens only behind an
+    ``is not None`` check, so the default path costs nothing.
+    """
+
+    __slots__ = ("records", "tick")
+
+    def __init__(self) -> None:
+        self.records: list[LedgerRecord] = []
+        self.tick = -1
+
+    def note_tick(self) -> None:
+        self.tick += 1
+
+    def reject(
+        self,
+        *,
+        clock: float,
+        task: int,
+        machine: int,
+        reason: str,
+        version: str | None = None,
+        margin: float | None = None,
+        score: float | None = None,
+        winner: int | None = None,
+        detail: str = "",
+    ) -> None:
+        self.records.append(
+            LedgerRecord(
+                tick=self.tick,
+                clock=clock,
+                task=task,
+                machine=machine,
+                reason=reason,
+                version=version,
+                margin=margin,
+                score=score,
+                winner=winner,
+                detail=detail,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def for_task(self, task: int) -> list[LedgerRecord]:
+        return [r for r in self.records if r.task == task]
+
+
+# -- persistence --------------------------------------------------------------
+
+
+def write_decision_log(path, result) -> Path:
+    """Write the decision-log NDJSON for a ledger-enabled mapping run.
+
+    *result* is a :class:`repro.core.slrh.MappingResult` whose trace was
+    recorded with the ledger enabled (``ValueError`` otherwise).
+    """
+    trace = result.trace
+    if trace.ledger is None:
+        raise ValueError(
+            "mapping was run without the decision ledger; "
+            "enable it with SlrhConfig(ledger=True) or --ledger-out"
+        )
+    scenario = result.schedule.scenario
+    lines: list[dict] = [
+        {
+            "event": "header",
+            "schema": LEDGER_SCHEMA,
+            "heuristic": result.heuristic,
+            "scenario": scenario.name,
+            "n_tasks": scenario.n_tasks,
+            "n_machines": scenario.n_machines,
+            "tau": scenario.tau,
+            "alpha": result.weights.alpha,
+            "beta": result.weights.beta,
+        }
+    ]
+    for r in trace.records:
+        lines.append(
+            {
+                "event": "commit",
+                "clock": r.clock,
+                "task": r.task,
+                "version": r.version,
+                "machine": r.machine,
+                "start": r.start,
+                "finish": r.finish,
+                "objective": r.objective,
+                "pool_size": r.pool_size,
+                "t100": r.t100,
+            }
+        )
+    for rec in trace.ledger:
+        lines.append(rec.to_dict())
+    lines.append(
+        {
+            "event": "summary",
+            "ticks": trace.ticks,
+            "commits": trace.n_commits,
+            "rejections": len(trace.ledger),
+            "empty_pool_ticks": trace.empty_pool_ticks,
+            "success": result.success,
+        }
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for doc in lines:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+    return path
+
+
+def read_decision_log(path) -> dict:
+    """Parse a decision-log NDJSON into
+    ``{"header": ..., "commits": [...], "rejects": [...], "summary": ...}``.
+    """
+    header: dict = {}
+    summary: dict = {}
+    commits: list[dict] = []
+    rejects: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            kind = doc.get("event")
+            if kind == "header":
+                header = doc
+            elif kind == "commit":
+                commits.append(doc)
+            elif kind == "reject":
+                rejects.append(doc)
+            elif kind == "summary":
+                summary = doc
+    if header.get("schema") != LEDGER_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {LEDGER_SCHEMA} decision log "
+            f"(schema={header.get('schema')!r})"
+        )
+    return {"header": header, "commits": commits, "rejects": rejects, "summary": summary}
+
+
+# -- the "why" report ---------------------------------------------------------
+
+
+def _fmt_margin(reason: str, margin: float | None) -> str:
+    if margin is None:
+        return ""
+    unit = {
+        ENERGY_INFEASIBLE: "J",
+        OUTSIDE_HORIZON: "s",
+        DEADLINE_INFEASIBLE: "s",
+        NOT_RELEASED: "s",
+        LOST_ON_SCORE: "",
+    }.get(reason, "")
+    return f" (margin {margin:.6g}{(' ' + unit) if unit else ''})"
+
+
+def _reject_line(doc: dict) -> str:
+    parts = [
+        f"  tick {doc.get('tick', '?'):>3}  clock {doc.get('clock', 0.0):8.2f}s",
+    ]
+    machine = doc.get("machine", -1)
+    parts.append(f"machine {machine}" if machine >= 0 else "run-level")
+    reason = doc.get("reason", "?")
+    body = reason
+    if doc.get("version"):
+        body += f" [{doc['version']}]"
+    body += _fmt_margin(reason, doc.get("margin"))
+    if doc.get("winner") is not None:
+        body += f", beaten by task {doc['winner']}"
+    if doc.get("score") is not None:
+        body += f", score {doc['score']:.6g}"
+    parts.append(body)
+    if doc.get("detail"):
+        parts.append(f"— {doc['detail']}")
+    return "  ".join(parts)
+
+
+def explain_report(log: dict, task: int, tick: int | None = None) -> str:
+    """Human-readable "why" report for *task* from a parsed decision log.
+
+    With *tick*, restricts the rejection history to that heuristic tick
+    (the commit line, if any, is always shown).
+    """
+    header = log["header"]
+    lines = [
+        f"why: task {task} of {header.get('scenario', '?')} "
+        f"({header.get('heuristic', '?')}, "
+        f"alpha={header.get('alpha')}, beta={header.get('beta')})"
+    ]
+    commit = next((c for c in log["commits"] if c["task"] == task), None)
+    if commit is not None:
+        lines.append(
+            f"committed: clock {commit['clock']:.2f}s  version={commit['version']}  "
+            f"machine {commit['machine']}  start {commit['start']:.2f}s  "
+            f"finish {commit['finish']:.2f}s  objective {commit['objective']:.6g}"
+        )
+    else:
+        lines.append("committed: never (task is unmapped in this run)")
+    rejects = [r for r in log["rejects"] if r["task"] == task]
+    if tick is not None:
+        rejects = [r for r in rejects if r.get("tick") == tick]
+        lines.append(f"rejection history at tick {tick}:")
+    else:
+        lines.append(f"rejection history ({len(rejects)} records):")
+    if rejects:
+        lines.extend(_reject_line(r) for r in rejects)
+    else:
+        lines.append("  (none recorded)")
+    if commit is not None and commit["version"] == "secondary":
+        ver = next(
+            (
+                r
+                for r in reversed(log["rejects"])
+                if r["task"] == task
+                and r.get("version") == "primary"
+                and r.get("machine") == commit["machine"]
+            ),
+            None,
+        )
+        if ver is not None:
+            why = ver["reason"] + _fmt_margin(ver["reason"], ver.get("margin"))
+            lines.append(
+                f"secondary-version verdict: primary rejected on machine "
+                f"{commit['machine']} — {why}"
+            )
+    return "\n".join(lines)
+
+
+def explain_tasks(log: dict) -> list[int]:
+    """Task ids that appear anywhere in the log (commits or rejections)."""
+    seen: set[int] = {c["task"] for c in log["commits"]}
+    seen.update(r["task"] for r in log["rejects"])
+    return sorted(seen)
+
+
+def iter_records(records: Iterable[LedgerRecord], reason: str) -> list[LedgerRecord]:
+    """The subset of in-memory *records* carrying *reason*."""
+    return [r for r in records if r.reason == reason]

@@ -1,0 +1,180 @@
+"""Structured NDJSON event logging on top of stdlib :mod:`logging`.
+
+The codebase had no ``logging`` call at all before this module: the daemon
+and the experiment drivers were black boxes under load.  This is the one
+place process-level events go through now — one JSON object per line, so
+the output is machine-parseable (``jq``-able) as it streams.
+
+Design constraints:
+
+* **Zero-cost when disabled** (the default).  :meth:`EventLogger.event`
+  checks one module-level flag and returns; no dict is built, no record
+  allocated.  Importing this module configures nothing.
+* **Stdlib only.**  A :class:`logging.Handler` with a JSON formatter on a
+  dedicated ``repro.obs`` logger root (``propagate=False``, so an
+  application's own root-logger config never double-prints our lines).
+* **Context binding.**  ``get_logger("service").bind(job="job-0001")``
+  returns a child whose bound fields ride along on every event — the
+  run/job/scenario scoping the service and the experiment drivers use.
+
+Enable by calling :func:`configure` (a path, ``"stderr"``, or an open
+stream), or export ``REPRO_OBS_LOG=stderr`` / ``REPRO_OBS_LOG=/path/to/log``
+and let the entry points (``python -m repro.service``,
+``python -m repro.experiments``) pick it up via :func:`configure_from_env`.
+
+Record layout (keys sorted, one line per event)::
+
+    {"event": "http.request", "latency_seconds": 0.0123, "level": "info",
+     "logger": "repro.obs.service.access", "method": "POST",
+     "path": "/v1/map", "queue_depth": 3, "status": 200, "ts": 1754517600.0}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from pathlib import Path
+
+#: Root logger name; every :func:`get_logger` child hangs below it.
+ROOT_LOGGER = "repro.obs"
+
+
+class _State:
+    __slots__ = ("enabled", "handler")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.handler: logging.Handler | None = None
+
+
+_state = _State()
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render one :class:`logging.LogRecord` as one JSON object per line.
+
+    The event name is the record message; structured fields arrive via the
+    ``extra={"obs_fields": {...}}`` channel :class:`EventLogger` uses.
+    Non-JSON-able values fall back to ``str`` rather than raising — a log
+    line must never take the request down with it.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "obs_fields", None)
+        if fields:
+            doc.update(fields)
+        return json.dumps(doc, sort_keys=True, default=str, separators=(",", ":"))
+
+
+def configure(target: str | None = None, *, stream=None, level: int = logging.INFO) -> logging.Logger:
+    """Enable NDJSON event logging; returns the configured root logger.
+
+    Parameters
+    ----------
+    target:
+        ``None``, ``"stderr"`` or ``"-"`` log to stderr; anything else is
+        a file path (parent directories created, lines appended).
+    stream:
+        An open text stream to write to instead (tests use ``StringIO``);
+        mutually exclusive with *target*.
+
+    Reconfiguring replaces the previous handler (idempotent per target).
+    """
+    if stream is not None and target is not None:
+        raise ValueError("pass either target or stream, not both")
+    root = logging.getLogger(ROOT_LOGGER)
+    disable()
+    if stream is not None:
+        handler: logging.Handler = logging.StreamHandler(stream)
+    elif target in (None, "stderr", "-"):
+        handler = logging.StreamHandler(sys.stderr)
+    else:
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handler = logging.FileHandler(path, encoding="utf-8")
+    handler.setFormatter(JsonLineFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    _state.handler = handler
+    _state.enabled = True
+    return root
+
+
+def configure_from_env(var: str = "REPRO_OBS_LOG") -> bool:
+    """Enable logging when *var* is set (path or ``stderr``); returns
+    whether logging is now enabled.  The entry points call this so an
+    operator can switch the daemon's event log on without a flag."""
+    target = os.environ.get(var, "").strip()
+    if not target:
+        return _state.enabled
+    configure(target)
+    return True
+
+
+def disable() -> None:
+    """Tear the handler down and return to the zero-cost no-op state."""
+    root = logging.getLogger(ROOT_LOGGER)
+    if _state.handler is not None:
+        root.removeHandler(_state.handler)
+        _state.handler.close()
+        _state.handler = None
+    _state.enabled = False
+
+
+def enabled() -> bool:
+    """Whether events are currently being written anywhere."""
+    return _state.enabled
+
+
+class EventLogger:
+    """A named event emitter with bound context fields.
+
+    ``event(name, **fields)`` writes one NDJSON line merging the bound
+    context with the per-call fields (per-call wins on key collision).
+    When logging is disabled the call is a single flag check.
+    """
+
+    __slots__ = ("_logger", "_context")
+
+    def __init__(self, logger: logging.Logger, context: dict | None = None) -> None:
+        self._logger = logger
+        self._context = context or {}
+
+    def bind(self, **context) -> "EventLogger":
+        """A child emitter carrying ``context`` on every event."""
+        return EventLogger(self._logger, {**self._context, **context})
+
+    @property
+    def context(self) -> dict:
+        return dict(self._context)
+
+    def event(self, event: str, **fields) -> None:
+        """Emit one event line (no-op while logging is disabled)."""
+        if not _state.enabled:
+            return
+        if self._context:
+            fields = {**self._context, **fields}
+        self._logger.info(event, extra={"obs_fields": fields})
+
+    def error(self, event: str, **fields) -> None:
+        """Like :meth:`event` at ERROR level (still one NDJSON line)."""
+        if not _state.enabled:
+            return
+        if self._context:
+            fields = {**self._context, **fields}
+        self._logger.error(event, extra={"obs_fields": fields})
+
+
+def get_logger(name: str | None = None) -> EventLogger:
+    """The :class:`EventLogger` for ``repro.obs[.name]``."""
+    full = ROOT_LOGGER if not name else f"{ROOT_LOGGER}.{name}"
+    return EventLogger(logging.getLogger(full))

@@ -20,11 +20,20 @@ Counter namespace (dotted, flat):
     Full plan-pair reuse (comm plan *and* exec/energy verdicts).
 ``pool.builds`` / ``pool.members``
     Candidate pools built and their total membership.
+``pool.empty_ticks`` / ``tick.count``
+    Heuristic ticks whose pools all came up empty, and total ticks run
+    (surfaced from :class:`~repro.sim.trace.MappingTrace` so the ratio is
+    visible on ``/metrics`` without parsing traces).
 ``commit.count`` / ``unassign.count``
     Schedule mutations.
 ``phase.pool_seconds`` / ``phase.commit_seconds`` / ``map.seconds``
     Wall time per phase and per whole mapping; ``map.runs`` counts
     mappings merged into a snapshot.
+``span.<name>_seconds`` (histograms)
+    Per-span wall-time distributions recorded when a
+    :class:`repro.obs.spans.Tracer` is attached to a mapping
+    (``span.pool.build_seconds``, ``span.select_seconds``,
+    ``span.commit_seconds``, ``span.tick_seconds``, ``span.map_seconds``).
 
 The registry is deliberately schema-free: unknown counters merge like any
 other.  :func:`write_perf_json` pins the on-disk schema (documented in
@@ -67,9 +76,28 @@ class Histogram:
     over the histogram's whole lifetime.  Percentiles are computed
     *nearest-rank* over the retained observations.  When the retained list
     exceeds ``maxlen`` it is compressed deterministically: the list is
-    sorted and every second element kept, which halves memory while
-    preserving the distribution's shape (no RNG — snapshots stay
-    reproducible run-to-run for a fixed observation sequence).
+    sorted and every second element kept (the elements at even sorted
+    indices 0, 2, 4, …), which halves memory while preserving the
+    distribution's shape (no RNG — snapshots stay reproducible
+    run-to-run for a fixed observation sequence).
+
+    Compression bias, documented so consumers are not surprised:
+
+    * Below ``maxlen`` retained observations, percentiles are **exact**
+      nearest-rank values — some observed value, never an interpolation.
+    * After compression, keeping even sorted indices systematically drops
+      the retained maximum whenever the retained count is even (the last
+      element sits at an odd index), so upper-tail percentiles (p99, max)
+      can step **down** after a compression even though the true
+      distribution did not change; the retained minimum is always kept,
+      so low percentiles are stable.  ``count``/``sum``/``mean`` are
+      never affected — only which sample a percentile lands on.
+    * Because compression sorts first, the retained set depends only on
+      the *multiset* of retained observations, never their arrival order:
+      ``a.merge(b)`` and ``b.merge(a)`` report identical percentiles.
+      Chained merges are deterministic for a fixed order but not
+      associative — once an *intermediate* merge triggers compression,
+      a different grouping may retain a slightly different sample set.
     """
 
     __slots__ = ("_obs", "count", "total", "maxlen")

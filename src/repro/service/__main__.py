@@ -14,6 +14,8 @@ Options::
     --max-queue N      admission-control bound (default 64)
     --batch-max N      max requests per dispatch wave (default 2×jobs)
     --drain-grace S    max seconds to wait for drain on shutdown
+    --obs-log PATH     structured NDJSON event log ('-' = stderr; default
+                       $REPRO_OBS_LOG when set, else disabled)
 """
 
 from __future__ import annotations
@@ -23,6 +25,8 @@ import signal
 import sys
 import threading
 
+from repro.obs.log import configure as obs_configure
+from repro.obs.log import configure_from_env as obs_configure_from_env
 from repro.service.app import make_server
 from repro.service.jobs import JobManager
 from repro.service.registry import ScenarioRegistry
@@ -47,7 +51,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="seconds to wait for in-flight jobs on shutdown")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request to stderr")
+    parser.add_argument("--obs-log", default=None, metavar="PATH",
+                        help="write structured NDJSON events to PATH "
+                        "('-' = stderr; default: $REPRO_OBS_LOG if set)")
     args = parser.parse_args(argv)
+
+    if args.obs_log is not None:
+        obs_configure(args.obs_log)
+    else:
+        obs_configure_from_env()
 
     registry = ScenarioRegistry()
     try:

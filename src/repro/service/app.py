@@ -29,7 +29,14 @@ Routes (all bodies JSON; streaming endpoints NDJSON):
 ``GET /metrics``
     The live ``repro.perf/2`` registry: engine counters merged from every
     completed job (plan-cache hit rates …), service gauges (queue depth,
-    in-flight) and latency histograms with p50/p95/p99.
+    in-flight) and latency histograms with p50/p95/p99.  Content
+    negotiated: JSON by default; ``Accept: text/plain`` or
+    ``?format=prom`` returns Prometheus text exposition
+    (:func:`repro.obs.prom.render_prometheus`) for scrapers.
+
+When the structured event log is configured (``--obs-log`` /
+``REPRO_OBS_LOG``), every request emits one ``http.request`` NDJSON
+record with method, path, status, latency and queue depth.
 
 Threading model: :class:`ThreadingHTTPServer` gives one handler thread per
 connection; synchronous ``/v1/map`` handlers block on the job's completion
@@ -44,10 +51,15 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.io.serialization import canonical_json_bytes
+from repro.obs.log import enabled as _obs_enabled
+from repro.obs.log import get_logger
+from repro.obs.prom import render_prometheus
 from repro.service.jobs import DrainingError, JobManager, QueueFullError
 
 #: Seconds between NDJSON ``status`` heartbeats while a job is pending.
 EVENT_HEARTBEAT_SECONDS = 1.0
+
+_LOG = get_logger("service.http")
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -87,6 +99,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
     @property
     def manager(self) -> JobManager:
         return self.server.manager
+
+    def send_response(self, code, message=None):
+        # Remember the status for the structured access log (the base class
+        # offers no other hook between routing and response).
+        self._obs_status = code
+        super().send_response(code, message)
+
+    def _access_log(self, method: str, started: float) -> None:
+        if not _obs_enabled():
+            return  # skip the queue-depth lock entirely when obs is off
+        _LOG.event(
+            "http.request",
+            method=method,
+            path=self.path,
+            status=getattr(self, "_obs_status", 0),
+            latency_seconds=round(time.perf_counter() - started, 6),
+            queue_depth=self.manager.queue_depth,
+        )
 
     def _send(
         self,
@@ -128,6 +158,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- POST --------------------------------------------------------------
 
     def do_POST(self) -> None:
+        started = time.perf_counter()
         try:
             if self.path == "/v1/scenarios":
                 self._post_scenarios()
@@ -137,6 +168,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._error(404, f"no such endpoint {self.path!r}")
         except BrokenPipeError:  # client went away mid-response
             pass
+        finally:
+            self._access_log("POST", started)
 
     def _post_scenarios(self) -> None:
         body = self._read_body()
@@ -226,19 +259,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- GET ---------------------------------------------------------------
 
     def do_GET(self) -> None:
+        started = time.perf_counter()
+        path, _, query = self.path.partition("?")
         try:
-            if self.path == "/healthz":
+            if path == "/healthz":
                 self._get_healthz()
-            elif self.path == "/metrics":
-                self._get_metrics()
-            elif self.path == "/v1/scenarios":
+            elif path == "/metrics":
+                self._get_metrics(query)
+            elif path == "/v1/scenarios":
                 self._send_json(200, {"scenarios": self.server.registry.ids()})
-            elif self.path.startswith("/v1/jobs/"):
-                self._get_job(self.path[len("/v1/jobs/"):])
+            elif path.startswith("/v1/jobs/"):
+                self._get_job(path[len("/v1/jobs/"):])
             else:
                 self._error(404, f"no such endpoint {self.path!r}")
         except BrokenPipeError:
             pass
+        finally:
+            self._access_log("GET", started)
 
     def _get_healthz(self) -> None:
         manager = self.manager
@@ -253,11 +290,29 @@ class ServiceHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _get_metrics(self) -> None:
+    def _wants_prometheus(self, query: str) -> bool:
+        """Content negotiation for ``/metrics``: JSON unless the client asks
+        for exposition via ``?format=prom`` or ``Accept: text/plain``."""
+        params = query.split("&") if query else []
+        if "format=prom" in params:
+            return True
+        if "format=json" in params:
+            return False
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept and "json" not in accept
+
+    def _get_metrics(self, query: str = "") -> None:
         doc = self.manager.metrics_document(
             service="repro.service",
             uptime_seconds=time.monotonic() - self.server.started_at,
         )
+        if self._wants_prometheus(query):
+            self._send(
+                200,
+                render_prometheus(doc).encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
         payload = (
             json.dumps(doc, indent=2, sort_keys=True, allow_nan=True) + "\n"
         ).encode("ascii")

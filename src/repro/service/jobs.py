@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.heuristics import WEIGHTED_HEURISTICS, normalize_heuristic
 from repro.io.serialization import canonical_json_bytes
+from repro.obs.log import get_logger
 from repro.perf import PerfCounters
 from repro.service.registry import ScenarioRegistry
 from repro.service.worker import execute_mapping
@@ -43,6 +44,9 @@ from repro.util.parallel import WorkerPool
 
 #: Fallback per-job seconds used for Retry-After before any job finished.
 _DEFAULT_JOB_SECONDS = 1.0
+
+#: Structured job-lifecycle events (no-op unless repro.obs.log is configured).
+_LOG = get_logger("service.jobs")
 
 
 class QueueFullError(Exception):
@@ -217,9 +221,16 @@ class JobManager:
         with self._lock:
             if self._stopped or self._draining:
                 self.perf.inc("service.rejected_draining")
+                _LOG.event("job.rejected", reason="draining", scenario=scenario_id)
                 raise DrainingError("service is draining; not accepting jobs")
             if len(self._queue) >= self.max_queue:
                 self.perf.inc("service.rejected")
+                _LOG.event(
+                    "job.rejected",
+                    reason="queue_full",
+                    scenario=scenario_id,
+                    queue_depth=len(self._queue),
+                )
                 raise QueueFullError(len(self._queue), self._retry_after_locked())
             job = Job(
                 id=f"job-{next(self._ids):08d}",
@@ -232,6 +243,13 @@ class JobManager:
             self._queue.append(job)
             self._remember_locked(job)
             self.perf.inc("service.submitted")
+            _LOG.event(
+                "job.submitted",
+                job=job.id,
+                scenario=scenario_id,
+                heuristic=canonical,
+                queue_depth=len(self._queue),
+            )
             self._update_gauges()
             self._wake.notify_all()
         return job
@@ -312,6 +330,11 @@ class JobManager:
     def _run_batch(self, batch: list[Job]) -> None:
         self.perf.observe("service.batch_size", len(batch))
         self.perf.inc("service.batches")
+        _LOG.event(
+            "batch.dispatched",
+            jobs=len(batch),
+            first=batch[0].id if batch else None,
+        )
         argtuples = [
             (
                 job.scenario_id,
@@ -345,6 +368,13 @@ class JobManager:
             self.perf.merge(outcome["perf"])  # engine counters (plan cache …)
         self.perf.observe(
             "service.request_seconds", job.finished_at - job.submitted_at
+        )
+        _LOG.event(
+            "job.finished",
+            job=job.id,
+            state=job.state,
+            latency_seconds=round(job.finished_at - job.submitted_at, 6),
+            **({"error": job.error} if job.error else {}),
         )
         job.done.set()
 

@@ -11,11 +11,17 @@ latency per level.  The artefact layout::
       "heuristic": "slrh1",
       "levels": [
         {"clients": 1, "requests": ..., "errors": 0,
+         "retries_429": ..., "gave_up": ...,
          "wall_seconds": ..., "throughput_rps": ...,
          "latency_seconds": {"count": ..., "mean": ..., "p50": ...,
                              "p95": ..., "p99": ...}},
         ...
       ],
+
+Backpressure handling is **bounded**: a 429 response is retried after the
+server's ``Retry-After`` hint, but only up to ``--max-retries`` times per
+request — a persistently saturated queue shows up as ``gave_up`` counts in
+the report instead of hanging the benchmark forever.
       "metrics_after": {... selected /metrics fields ...}
     }
 
@@ -46,6 +52,9 @@ from repro.perf import Histogram
 
 _SCHEMA = "repro.bench.service/1"
 _HTTP_TIMEOUT = 600.0
+
+#: Default per-request budget of 429 retries before a client gives up.
+DEFAULT_MAX_RETRIES = 8
 
 
 def _post_json(base_url: str, path: str, doc: dict) -> tuple[int, bytes]:
@@ -87,12 +96,20 @@ def run_level(
     requests_per_client: int,
     alpha: float | None = None,
     beta: float | None = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> dict:
     """One concurrency level: *clients* threads × *requests_per_client*
-    sequential synchronous map requests each."""
+    sequential synchronous map requests each.
+
+    Each request retries on 429 backpressure at most *max_retries* times
+    (honouring the server's ``Retry-After``); exhausting the budget counts
+    the request as ``gave_up`` rather than retrying forever.
+    """
     latencies = Histogram()
     lock = threading.Lock()
     errors = [0]
+    retries_429 = [0]
+    gave_up = [0]
     payload: dict = {"scenario": scenario_id, "heuristic": heuristic, "wait": True}
     if alpha is not None:
         payload["alpha"] = alpha
@@ -100,25 +117,35 @@ def run_level(
         payload["beta"] = beta
 
     def client() -> None:
-        done = 0
-        while done < requests_per_client:
-            started = time.perf_counter()
-            status, body = _post_json(base_url, "/v1/map", payload)
-            elapsed = time.perf_counter() - started
-            if status == 429:
-                retry = 1.0
-                try:
-                    retry = float(json.loads(body).get("retry_after", 1))
-                except (ValueError, AttributeError):
-                    pass
-                time.sleep(min(retry, 5.0))
-                continue  # backpressure is not an error; retry the request
-            with lock:
-                if status == 200:
-                    latencies.observe(elapsed)
-                else:
-                    errors[0] += 1
-            done += 1
+        for _ in range(requests_per_client):
+            attempts = 0
+            while True:
+                started = time.perf_counter()
+                status, body = _post_json(base_url, "/v1/map", payload)
+                elapsed = time.perf_counter() - started
+                if status == 429:
+                    # Backpressure is not an error, but the retry budget is
+                    # bounded: a saturated queue must not hang the benchmark.
+                    with lock:
+                        retries_429[0] += 1
+                    attempts += 1
+                    if attempts > max_retries:
+                        with lock:
+                            gave_up[0] += 1
+                        break
+                    retry = 1.0
+                    try:
+                        retry = float(json.loads(body).get("retry_after", 1))
+                    except (ValueError, AttributeError):
+                        pass
+                    time.sleep(min(retry, 5.0))
+                    continue
+                with lock:
+                    if status == 200:
+                        latencies.observe(elapsed)
+                    else:
+                        errors[0] += 1
+                break
 
     threads = [
         threading.Thread(target=client, name=f"loadgen-{i}") for i in range(clients)
@@ -134,6 +161,8 @@ def run_level(
         "clients": clients,
         "requests": completed,
         "errors": errors[0],
+        "retries_429": retries_429[0],
+        "gave_up": gave_up[0],
         "wall_seconds": wall,
         "throughput_rps": completed / wall if wall > 0 else 0.0,
         "latency_seconds": latencies.summary(),
@@ -147,11 +176,19 @@ def run_loadgen(
     seed: int = 7,
     heuristic: str = "slrh1",
     requests_per_client: int = 8,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> dict:
     """Full benchmark against *base_url*; returns the artefact document."""
     scenario_id = register_scenario(base_url, n_tasks, seed)
     results = [
-        run_level(base_url, scenario_id, heuristic, c, requests_per_client)
+        run_level(
+            base_url,
+            scenario_id,
+            heuristic,
+            c,
+            requests_per_client,
+            max_retries=max_retries,
+        )
         for c in levels
     ]
     metrics = _get_json(base_url, "/metrics")
@@ -160,6 +197,7 @@ def run_loadgen(
         "scenario": {"id": scenario_id, "n_tasks": n_tasks, "seed": seed},
         "heuristic": heuristic,
         "requests_per_client": requests_per_client,
+        "max_retries": max_retries,
         "levels": results,
         "metrics_after": {
             "derived": metrics.get("derived", {}),
@@ -188,6 +226,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated concurrency levels")
     parser.add_argument("--requests", type=int, default=8,
                         help="requests per client per level")
+    parser.add_argument("--max-retries", type=int, default=DEFAULT_MAX_RETRIES,
+                        help="429 retries allowed per request before giving up")
     parser.add_argument("--n-tasks", type=int, default=24)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--heuristic", default="slrh1")
@@ -199,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--clients must be comma-separated integers, got {args.clients!r}")
     if not levels or any(c < 1 for c in levels):
         parser.error("--clients needs at least one positive level")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
 
     server = None
     manager = None
@@ -230,6 +272,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             heuristic=args.heuristic,
             requests_per_client=args.requests,
+            max_retries=args.max_retries,
         )
     finally:
         if server is not None:
@@ -248,7 +291,8 @@ def main(argv: list[str] | None = None) -> int:
             f"clients={level['clients']:>3}  requests={level['requests']:>4}  "
             f"throughput={level['throughput_rps']:8.2f} req/s  "
             f"p50={lat['p50']*1e3:7.1f}ms  p95={lat['p95']*1e3:7.1f}ms  "
-            f"p99={lat['p99']*1e3:7.1f}ms",
+            f"p99={lat['p99']*1e3:7.1f}ms  "
+            f"retries429={level['retries_429']}  gave_up={level['gave_up']}",
             flush=True,
         )
     print(f"wrote {out}", flush=True)

@@ -34,12 +34,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.obs.log import get_logger
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.schedule import Assignment, ExecutionPlan, Schedule
 from repro.workload.scenario import Scenario
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->sim cycle
     from repro.core.slrh import MappingResult, SlrhScheduler
+
+#: Structured event log (no-op unless :mod:`repro.obs.log` is configured).
+_LOG = get_logger("engine")
 
 
 @dataclass
@@ -110,6 +114,13 @@ def execute_schedule(schedule: Schedule) -> ExecutionLog:
             finished.add(a.task)
             log.busy_seconds[a.machine] = log.busy_seconds.get(a.machine, 0.0) + a.duration
             log.makespan = max(log.makespan, a.finish)
+    _LOG.event(
+        "engine.replayed",
+        scenario=schedule.scenario.name,
+        events=len(log.events),
+        tasks=len(finished),
+        makespan=log.makespan,
+    )
     return log
 
 

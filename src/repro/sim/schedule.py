@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass, replace
 
 from repro.grid.energy import EnergyLedger
+from repro.obs.spans import NULL_TRACER
 from repro.perf import PerfCounters
 from repro.sim.timeline import _EPS, IntervalTimeline, earliest_common_gap
 from repro.workload.scenario import Scenario
@@ -171,11 +172,16 @@ class Schedule:
         hold_comm_reserves: bool = True,
         plan_cache: bool | None = None,
         perf: PerfCounters | None = None,
+        tracer=None,
     ) -> None:
         self.scenario = scenario
         self.hold_comm_reserves = hold_comm_reserves
         #: Performance counter registry (see :mod:`repro.perf`).
         self.perf = perf if perf is not None else PerfCounters()
+        #: Span tracer (see :mod:`repro.obs.spans`); the shared null tracer
+        #: unless a caller opts into tracing, so span sites cost two no-op
+        #: calls on the default path.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.plan_cache_enabled = (
             _plan_cache_default() if plan_cache is None else plan_cache
         )

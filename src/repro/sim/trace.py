@@ -5,12 +5,20 @@ later analysis" after every mapping.  :class:`MappingTrace` captures that
 record: one :class:`TraceRecord` per committed assignment plus per-tick
 pool statistics, enough to reconstruct Figure 2-style ΔT analyses and to
 debug heuristic behaviour without re-running.
+
+Commits alone cannot answer *why* a candidate was passed over; with
+``SlrhConfig(ledger=True)`` the trace additionally carries a
+:class:`repro.obs.ledger.DecisionLedger` recording every rejection with a
+reason code and numeric margin (``energy_infeasible``,
+``outside_horizon``, ``lost_on_score`` …).  ``ledger is None`` — the
+default — keeps the hot path free of any recording cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.ledger import DecisionLedger
 from repro.sim.schedule import ExecutionPlan
 
 
@@ -43,9 +51,14 @@ class MappingTrace:
     #: heuristic finished; cumulative over the schedule's lifetime when one
     #: schedule is mapped in several segments (churn).
     perf: dict = field(default_factory=dict)
+    #: Opt-in rejection ledger (see :mod:`repro.obs.ledger`); ``None`` when
+    #: disabled, which is the zero-cost default.
+    ledger: DecisionLedger | None = None
 
     def note_tick(self) -> None:
         self.ticks += 1
+        if self.ledger is not None:
+            self.ledger.note_tick()
 
     def note_machine_scan(self) -> None:
         self.machine_scans += 1

@@ -163,6 +163,65 @@ class TestHistogram:
             pass
         assert c.histograms_summary()["t"]["count"] == 1
 
+    def test_percentiles_exact_below_maxlen(self):
+        """Until the reservoir overflows, every percentile is an exact
+        nearest-rank member of the observed multiset (no interpolation,
+        no compression loss) — regardless of arrival order."""
+        h = Histogram(maxlen=1000)
+        values = [float(v) for v in range(1, 201)]
+        for v in reversed(values):  # worst-case arrival order
+            h.observe(v)
+        assert h.percentile(50.0) == 100.0
+        assert h.percentile(95.0) == 190.0
+        assert h.percentile(99.0) == 198.0
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(100.0) == 200.0
+        assert all(h.percentile(q) in values for q in (10.0, 33.0, 66.6, 87.5))
+
+    def test_compression_is_deterministic_and_keeps_shape(self):
+        """Overflow compresses by sorting and keeping every second element:
+        no RNG, so replaying the same observation sequence retains the
+        identical sample set — percentiles are reproducible run-to-run."""
+        values = [float((v * 37) % 101) for v in range(200)]
+
+        def build():
+            h = Histogram(maxlen=64)
+            for v in values:
+                h.observe(v)
+            return h
+
+        a, b = build(), build()
+        assert a.count == b.count == 200
+        assert a._obs == b._obs  # bit-identical retained samples
+        for q in (50.0, 95.0, 99.0):
+            assert a.percentile(q) == b.percentile(q)
+        # compression halves memory but keeps the retained minimum;
+        # count/sum/mean stay exact over the histogram's lifetime
+        assert len(a._obs) <= 64
+        assert min(a._obs) == min(values)
+        assert a.total == pytest.approx(sum(values))
+        assert a.mean == pytest.approx(sum(values) / 200)
+
+    def test_merge_is_commutative_after_compression(self):
+        """a.merge(b) and b.merge(a) retain identical samples even when the
+        merge itself triggers compression (the docstring's contract)."""
+        left = [float(v) for v in range(0, 120)]
+        right = [float(v) for v in range(500, 560)]
+
+        def build(values, maxlen=128):
+            h = Histogram(maxlen=maxlen)
+            for v in values:
+                h.observe(v)
+            return h
+
+        ab = build(left).merge(build(right))
+        ba = build(right).merge(build(left))
+        assert ab.count == ba.count == 180
+        assert sorted(ab._obs) == sorted(ba._obs)  # merge compressed: >128 obs
+        assert len(ab._obs) <= 128
+        for q in (1.0, 50.0, 95.0, 99.0, 100.0):
+            assert ab.percentile(q) == ba.percentile(q)
+
 
 class TestWritePerfJsonParents:
     def test_creates_missing_parent_directories(self, tmp_path):
