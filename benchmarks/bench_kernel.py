@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Generate ``BENCH_kernel.json``: incremental kernel vs rebuild oracle.
+
+Measures, for each SLRH variant on the 240-task comparison workload (the
+same workload ``BENCH_plan_cache.json`` was measured on), the best-of-N
+wall time of a full ``map()`` under the two kernel modes:
+
+* ``incremental`` — delta-maintained candidate pools (the default path);
+* ``rebuild`` — from-scratch pool construction per (tick, machine), the
+  differential oracle behind ``REPRO_KERNEL=rebuild``.
+
+Before timing anything it asserts byte-identity of the two modes' mappings
+on the measured scenario — a benchmark of a wrong answer is worse than no
+benchmark.  The acceptance criterion (aggregate mean speedup >= 1.5x at
+the 240-task scale) is recorded in the document and enforced with exit
+status 1 when missed.
+
+Usage::
+
+    python benchmarks/bench_kernel.py                 # write BENCH_kernel.json
+    python benchmarks/bench_kernel.py --out F.json    # write elsewhere
+    python benchmarks/bench_kernel.py --n-tasks 64 --repeats 2   # quick look
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # script invocation: python benchmarks/bench_...
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.exists() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.core.kernel import KERNEL_MODES  # noqa: E402
+from repro.core.objective import Weights  # noqa: E402
+from repro.core.slrh import SLRH_VARIANTS, SlrhConfig  # noqa: E402
+from repro.io.serialization import canonical_mapping_bytes  # noqa: E402
+from repro.workload.scenario import paper_scaled_suite  # noqa: E402
+
+SCHEMA = "repro.bench/1"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+CRITERION_SPEEDUP = 1.5
+
+ALPHA, BETA = 0.5, 0.2
+
+
+def _best_map_seconds(variant, scenario, weights, mode: str, repeats: int):
+    """Best-of-*repeats* wall seconds for one full map, plus the last run's
+    canonical mapping bytes and perf snapshot."""
+    best = float("inf")
+    payload = None
+    perf = None
+    for _ in range(repeats):
+        scheduler = SLRH_VARIANTS[variant](
+            SlrhConfig(weights=weights, kernel=mode)
+        )
+        start = time.perf_counter()
+        result = scheduler.map(scenario)
+        best = min(best, time.perf_counter() - start)
+        payload = canonical_mapping_bytes(result.schedule)
+        perf = result.trace.perf
+    return best, payload, perf
+
+
+def measure(n_tasks: int, repeats: int, seed: int) -> dict:
+    suite = paper_scaled_suite(n_tasks, n_etc=1, n_dag=1, seed=seed)
+    scenario = suite.scenario(0, 0, "A")
+    weights = Weights.from_alpha_beta(ALPHA, BETA)
+
+    per_heuristic: dict[str, dict] = {}
+    speedups: list[float] = []
+    for variant, cls in SLRH_VARIANTS.items():
+        timings: dict[str, float] = {}
+        payloads: dict[str, bytes] = {}
+        perfs: dict[str, dict] = {}
+        for mode in KERNEL_MODES:
+            timings[mode], payloads[mode], perfs[mode] = _best_map_seconds(
+                variant, scenario, weights, mode, repeats
+            )
+        if payloads["incremental"] != payloads["rebuild"]:
+            raise SystemExit(
+                f"{cls.name}: incremental and rebuild mappings differ — "
+                "refusing to benchmark a broken kernel"
+            )
+        speedup = round(timings["rebuild"] / timings["incremental"], 3)
+        speedups.append(speedup)
+        inc_perf = perfs["incremental"]
+        reuse = inc_perf.get("pool.reuse_hits", 0.0)
+        invalidated = inc_perf.get("pool.invalidations", 0.0)
+        per_heuristic[cls.name] = {
+            "incremental_best_seconds": round(timings["incremental"], 4),
+            "rebuild_best_seconds": round(timings["rebuild"], 4),
+            "speedup": speedup,
+            "pool_reuse_hits": reuse,
+            "pool_invalidations": invalidated,
+            "pool_reuse_rate": round(reuse / (reuse + invalidated), 4)
+            if reuse + invalidated
+            else 0.0,
+        }
+        print(
+            f"{cls.name}: rebuild {timings['rebuild']:.3f}s -> "
+            f"incremental {timings['incremental']:.3f}s ({speedup:.2f}x, "
+            f"reuse rate {per_heuristic[cls.name]['pool_reuse_rate']:.0%})"
+        )
+
+    aggregate = round(sum(speedups) / len(speedups), 3)
+    return {
+        "schema": SCHEMA,
+        "benchmark": "kernel",
+        "date": datetime.date.today().isoformat(),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "workload": {
+            "suite": f"paper_scaled_suite(n_tasks={n_tasks}, n_etc=1, "
+            f"n_dag=1, seed={seed})",
+            "scenario": "(etc=0, dag=0, case='A')",
+            "weights": f"Weights.from_alpha_beta({ALPHA}, {BETA})",
+            "timing": f"best of {repeats} full map() calls per kernel mode",
+        },
+        "kernel_speedup": {
+            "per_heuristic": per_heuristic,
+            "aggregate_mean": aggregate,
+            "criterion": f">= {CRITERION_SPEEDUP}x aggregate at the "
+            f"{n_tasks}-task scale, byte-identical mappings",
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--n-tasks", type=int, default=240)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    doc = measure(args.n_tasks, args.repeats, args.seed)
+    args.out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    aggregate = doc["kernel_speedup"]["aggregate_mean"]
+    print(f"aggregate mean speedup {aggregate:.2f}x -> {args.out}")
+    if args.n_tasks >= 240 and aggregate < CRITERION_SPEEDUP:
+        print(
+            f"FAIL: aggregate {aggregate:.2f}x below the "
+            f"{CRITERION_SPEEDUP}x criterion",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

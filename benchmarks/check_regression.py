@@ -58,6 +58,8 @@ ALPHA, BETA = 0.5, 0.2
 VARIANTS = {"slrh1": SLRH1, "slrh3": SLRH3}
 
 #: Deterministic structural counters that must match the baseline exactly.
+#: ``pool.reuse_hits`` / ``pool.invalidations`` are the incremental
+#: kernel's delta rate — a drift means entry certificates changed shape.
 EXACT_COUNTERS = (
     "plan.pairs",
     "plan.cache.pair_hit",
@@ -66,6 +68,8 @@ EXACT_COUNTERS = (
     "plan.cache.comm_miss",
     "pool.builds",
     "pool.members",
+    "pool.reuse_hits",
+    "pool.invalidations",
     "commit.count",
     "tick.count",
     "pool.empty_ticks",
@@ -75,14 +79,17 @@ EXACT_COUNTERS = (
 RATE_TOLERANCE = 0.05
 
 
-def _best_seconds(scheduler_cls, scenario, weights, plan_cache: bool, repeats: int) -> tuple[float, dict]:
+def _best_seconds(
+    scheduler_cls, scenario, weights, plan_cache: bool, repeats: int,
+    kernel: str | None = None,
+) -> tuple[float, dict]:
     """Best-of-*repeats* wall seconds (and last perf snapshot) for one
     variant with the plan cache on or off."""
     best = float("inf")
     perf: dict = {}
     for _ in range(repeats):
         scheduler = scheduler_cls(
-            SlrhConfig(weights=weights, plan_cache=plan_cache)
+            SlrhConfig(weights=weights, plan_cache=plan_cache, kernel=kernel)
         )
         started = time.perf_counter()
         result = scheduler.map(scenario)
@@ -102,15 +109,26 @@ def measure(repeats: int = 3) -> dict:
     weights = Weights.from_alpha_beta(ALPHA, BETA)
     variants: dict[str, dict] = {}
     for name, cls in VARIANTS.items():
-        cached_s, cached_perf = _best_seconds(cls, scenario, weights, True, repeats)
-        uncached_s, _ = _best_seconds(cls, scenario, weights, False, repeats)
+        # The kernel mode is pinned (not left to $REPRO_KERNEL) so the
+        # structural counters are a property of the code, not the runner.
+        cached_s, cached_perf = _best_seconds(
+            cls, scenario, weights, True, repeats, kernel="incremental"
+        )
+        uncached_s, _ = _best_seconds(
+            cls, scenario, weights, False, repeats, kernel="incremental"
+        )
+        rebuild_s, _ = _best_seconds(
+            cls, scenario, weights, True, repeats, kernel="rebuild"
+        )
         pair_lookups = cached_perf.get("plan.cache.pair_hit", 0.0) + cached_perf.get(
             "plan.cache.pair_miss", 0.0
         )
         variants[name] = {
             "cached_seconds": round(cached_s, 6),
             "uncached_seconds": round(uncached_s, 6),
+            "rebuild_seconds": round(rebuild_s, 6),
             "cache_speedup": round(uncached_s / cached_s, 4) if cached_s > 0 else 0.0,
+            "kernel_speedup": round(rebuild_s / cached_s, 4) if cached_s > 0 else 0.0,
             "counters": {
                 k: cached_perf.get(k, 0.0) for k in EXACT_COUNTERS
             },
@@ -162,6 +180,16 @@ def compare(snapshot: dict, baseline: dict, tolerance: float) -> list[str]:
                 f"(floor {floor:.2f}x = baseline - {tolerance:.0%}) — "
                 "the hot path got slower relative to the uncached path"
             )
+        base_kernel = base.get("kernel_speedup")
+        if base_kernel is not None:
+            floor = base_kernel * (1.0 - tolerance)
+            if fresh.get("kernel_speedup", 0.0) < floor:
+                failures.append(
+                    f"{name}: incremental-kernel speedup regressed: baseline "
+                    f"{base_kernel:.2f}x, now {fresh.get('kernel_speedup', 0.0):.2f}x "
+                    f"(floor {floor:.2f}x = baseline - {tolerance:.0%}) — "
+                    "delta maintenance got slower relative to rebuilding"
+                )
     return failures
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 
+from repro.core.kernel import SchedulingKernel
 from repro.core.objective import Weights
 from repro.core.slrh import MappingResult
 from repro.sim.schedule import Schedule
@@ -43,24 +44,30 @@ class GreedyScheduler:
     def map(self, scenario: Scenario) -> MappingResult:
         schedule = Schedule(scenario)
         trace = MappingTrace()
+        topo = iter(scenario.dag.topological_order)
+
+        def select() -> tuple:
+            """MCT plan for the next subtask in topological order (``None``
+            once the walk runs out of energy everywhere)."""
+            task = next(topo)
+            best_plan = None
+            for machine in range(scenario.n_machines):
+                for version in (PRIMARY, SECONDARY):
+                    plan = schedule.plan(
+                        task, version, machine,
+                        not_before=0.0, insertion=self.insertion,
+                    )
+                    if not plan.feasible:
+                        continue
+                    if best_plan is None or plan.finish < best_plan.finish - 1e-12:
+                        best_plan = plan
+                    break  # primary fits: no need to consider secondary
+            return best_plan, 0
+
+        kernel = SchedulingKernel(schedule, None, None)
         stopwatch = Stopwatch()
         with stopwatch:
-            for task in scenario.dag.topological_order:
-                best_plan = None
-                for machine in range(scenario.n_machines):
-                    for version in (PRIMARY, SECONDARY):
-                        plan = schedule.plan(
-                            task, version, machine,
-                            not_before=0.0, insertion=self.insertion,
-                        )
-                        if not plan.feasible:
-                            continue
-                        if best_plan is None or plan.finish < best_plan.finish - 1e-12:
-                            best_plan = plan
-                        break  # primary fits: no need to consider secondary
-                if best_plan is None:
-                    break  # out of energy everywhere; incomplete mapping
-                schedule.commit(best_plan)
+            kernel.run_static(select, trace, note_ticks=False)
         return MappingResult(
             schedule=schedule,
             trace=trace,

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.feasibility import FeasibilityChecker
+from repro.core.kernel import SchedulingKernel
 from repro.core.objective import ObjectiveFunction, Weights
 from repro.core.slrh import MappingResult
 from repro.sim.schedule import Schedule
@@ -80,72 +81,70 @@ class MaxMaxScheduler:
         if self.config.machine_stage not in ("completion", "objective"):
             raise ValueError(f"unknown machine_stage {self.config.machine_stage!r}")
 
+        def select() -> tuple:
+            """One Max-Max round: the best (subtask, version, machine)
+            triplet over the ready set, plus the feasible-candidate count."""
+            best_plan = None
+            best_score = -float("inf")
+            pool_size = 0
+            ready = sorted(schedule.ready_tasks())
+            for task in ready:
+                for version in (PRIMARY, SECONDARY):
+                    # Machine stage: the candidate's plan on each
+                    # machine; under "completion" only the
+                    # minimum-completion-time machine survives, under
+                    # "objective" every machine competes directly.
+                    stage_plan = None
+                    for machine in range(scenario.n_machines):
+                        trace.note_machine_scan()
+                        if not checker.is_feasible(schedule, task, machine, version):
+                            continue
+                        plan = schedule.plan(
+                            task,
+                            version,
+                            machine,
+                            not_before=0.0,
+                            insertion=self.config.insertion,
+                        )
+                        if not plan.feasible:
+                            continue
+                        pool_size += 1
+                        if completion_stage:
+                            if stage_plan is None or plan.finish < stage_plan.finish - 1e-12:
+                                stage_plan = plan
+                            continue
+                        score = objective.after_plan(schedule, plan)
+                        # Objective ties break toward the earliest
+                        # finish (Min-Min heritage, [IbK77]), then the
+                        # primary version / lowest ids via scan order.
+                        if score > best_score + 1e-12 or (
+                            score > best_score - 1e-12
+                            and best_plan is not None
+                            and plan.finish < best_plan.finish - 1e-12
+                        ):
+                            best_score = max(best_score, score)
+                            best_plan = plan
+                    if completion_stage and stage_plan is not None:
+                        score = objective.after_plan(schedule, stage_plan)
+                        if score > best_score + 1e-12 or (
+                            score > best_score - 1e-12
+                            and best_plan is not None
+                            and stage_plan.finish < best_plan.finish - 1e-12
+                        ):
+                            best_score = max(best_score, score)
+                            best_plan = stage_plan
+            return best_plan, pool_size
+
+        kernel = SchedulingKernel(schedule, None, objective)
         stopwatch = Stopwatch()
         with stopwatch:
-            while not schedule.is_complete:
-                trace.note_tick()
-                best_plan = None
-                best_score = -float("inf")
-                pool_size = 0
-                ready = sorted(schedule.ready_tasks())
-                for task in ready:
-                    for version in (PRIMARY, SECONDARY):
-                        # Machine stage: the candidate's plan on each
-                        # machine; under "completion" only the
-                        # minimum-completion-time machine survives, under
-                        # "objective" every machine competes directly.
-                        stage_plan = None
-                        for machine in range(scenario.n_machines):
-                            trace.note_machine_scan()
-                            if not checker.is_feasible(schedule, task, machine, version):
-                                continue
-                            plan = schedule.plan(
-                                task,
-                                version,
-                                machine,
-                                not_before=0.0,
-                                insertion=self.config.insertion,
-                            )
-                            if not plan.feasible:
-                                continue
-                            pool_size += 1
-                            if completion_stage:
-                                if stage_plan is None or plan.finish < stage_plan.finish - 1e-12:
-                                    stage_plan = plan
-                                continue
-                            score = objective.after_plan(schedule, plan)
-                            # Objective ties break toward the earliest
-                            # finish (Min-Min heritage, [IbK77]), then the
-                            # primary version / lowest ids via scan order.
-                            if score > best_score + 1e-12 or (
-                                score > best_score - 1e-12
-                                and best_plan is not None
-                                and plan.finish < best_plan.finish - 1e-12
-                            ):
-                                best_score = max(best_score, score)
-                                best_plan = plan
-                        if completion_stage and stage_plan is not None:
-                            score = objective.after_plan(schedule, stage_plan)
-                            if score > best_score + 1e-12 or (
-                                score > best_score - 1e-12
-                                and best_plan is not None
-                                and stage_plan.finish < best_plan.finish - 1e-12
-                            ):
-                                best_score = max(best_score, score)
-                                best_plan = stage_plan
-                if best_plan is None:
-                    trace.note_empty_pool()
-                    break
-                schedule.commit(best_plan)
-                trace.record_commit(
-                    clock=0.0,
-                    plan=best_plan,
-                    objective=objective.of_schedule(schedule),
-                    pool_size=pool_size,
-                    t100=schedule.t100,
-                    tec=schedule.total_energy_consumed,
-                    aet=schedule.makespan,
-                )
+            kernel.run_static(
+                select,
+                trace,
+                note_ticks=True,
+                note_empty_pool=True,
+                record_commits=True,
+            )
         schedule.perf.inc("map.runs")
         schedule.perf.inc("map.seconds", stopwatch.elapsed)
         schedule.perf.inc("tick.count", trace.ticks)

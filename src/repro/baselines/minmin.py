@@ -14,6 +14,7 @@ the extended benches report it alongside the paper's heuristics.
 
 from __future__ import annotations
 
+from repro.core.kernel import SchedulingKernel
 from repro.core.slrh import MappingResult
 from repro.sim.schedule import ExecutionPlan, Schedule
 from repro.sim.trace import MappingTrace
@@ -50,20 +51,22 @@ class MinMinScheduler:
     def map(self, scenario: Scenario) -> MappingResult:
         schedule = Schedule(scenario)
         trace = MappingTrace()
+
+        def select() -> tuple:
+            """One Min-Min round: the smallest-MCT ready subtask."""
+            best: ExecutionPlan | None = None
+            for task in sorted(schedule.ready_tasks()):
+                plan = self._best_plan_for_task(schedule, task)
+                if plan is None:
+                    continue
+                if best is None or plan.finish < best.finish - 1e-12:
+                    best = plan
+            return best, 0
+
+        kernel = SchedulingKernel(schedule, None, None)
         stopwatch = Stopwatch()
         with stopwatch:
-            while not schedule.is_complete:
-                trace.note_tick()
-                best: ExecutionPlan | None = None
-                for task in sorted(schedule.ready_tasks()):
-                    plan = self._best_plan_for_task(schedule, task)
-                    if plan is None:
-                        continue
-                    if best is None or plan.finish < best.finish - 1e-12:
-                        best = plan
-                if best is None:
-                    break
-                schedule.commit(best)
+            kernel.run_static(select, trace, note_ticks=True)
         return MappingResult(
             schedule=schedule,
             trace=trace,

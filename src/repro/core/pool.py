@@ -54,6 +54,43 @@ class Candidate:
         return self.plan.version
 
 
+def select_candidate(
+    schedule: Schedule,
+    objective: ObjectiveFunction,
+    task: int,
+    plans: Iterable[ExecutionPlan],
+) -> Candidate | None:
+    """Score the feasible members of *plans* and return the best as a
+    :class:`Candidate` (``None`` if no plan is feasible).
+
+    This is the version-selection rule shared by every pool construction
+    path — the from-scratch build below and the incremental re-scoring in
+    :mod:`repro.core.kernel` — so a candidate's score and version choice
+    are computed by exactly one piece of float arithmetic everywhere.
+    """
+    best: Candidate | None = None
+    for plan in plans:
+        if not plan.feasible:
+            continue
+        score = objective.after_plan(schedule, plan)
+        # Explicit tie rule: on equal score prefer the version that counts
+        # toward T100 (the primary) — equal objective at lower resource
+        # commitment never loses T100.  Spelled out (rather than relying on
+        # plan_versions yielding the primary first) so a reordering of the
+        # evaluation loop cannot silently flip version choices.
+        if (
+            best is None
+            or score > best.score
+            or (
+                score == best.score
+                and plan.version.counts_toward_t100
+                and not best.version.counts_toward_t100
+            )
+        ):
+            best = Candidate(task=task, plan=plan, score=score)
+    return best
+
+
 def evaluate_versions(
     schedule: Schedule,
     objective: ObjectiveFunction,
@@ -79,28 +116,14 @@ def evaluate_versions(
         # kwargs dict alone) and loser bookkeeping are measurable.  Keep
         # this loop free of both; the byte-identity tests in
         # tests/test_obs.py pin that both paths select the same versions.
-        for plan in schedule.plan_versions(
-            task, machine, not_before=not_before, insertion=insertion
-        ):
-            if not plan.feasible:
-                continue
-            score = objective.after_plan(schedule, plan)
-            # Explicit tie rule: on equal score prefer the version that counts
-            # toward T100 (the primary) — equal objective at lower resource
-            # commitment never loses T100.  Spelled out (rather than relying on
-            # plan_versions yielding the primary first) so a reordering of the
-            # evaluation loop cannot silently flip version choices.
-            if (
-                best is None
-                or score > best.score
-                or (
-                    score == best.score
-                    and plan.version.counts_toward_t100
-                    and not best.version.counts_toward_t100
-                )
-            ):
-                best = Candidate(task=task, plan=plan, score=score)
-        return best
+        return select_candidate(
+            schedule,
+            objective,
+            task,
+            schedule.plan_versions(
+                task, machine, not_before=not_before, insertion=insertion
+            ),
+        )
     loser: tuple[ExecutionPlan, float] | None = None
     span = tracer.span("select", task=task, machine=machine) if tracer.enabled else NULL_SPAN
     with span:

@@ -29,18 +29,12 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.feasibility import FeasibilityChecker
+from repro.core.kernel import SchedulingKernel, TickPolicy, resolve_kernel_mode
 from repro.core.objective import ObjectiveFunction, Weights
-from repro.core.pool import build_candidate_pool
-from repro.obs.ledger import (
-    DEADLINE_INFEASIBLE,
-    ENERGY_INFEASIBLE,
-    LOST_ON_SCORE,
-    OUTSIDE_HORIZON,
-    DecisionLedger,
-)
+from repro.obs.ledger import DEADLINE_INFEASIBLE, DecisionLedger
 from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.sim.clock import SimulationClock
 from repro.sim.schedule import Schedule
@@ -89,8 +83,15 @@ class SlrhConfig:
     #: a :class:`repro.obs.ledger.DecisionLedger` on the mapping trace —
     #: the input of ``python -m repro.experiments explain``.  Recording
     #: never changes the mapping; off by default so the hot path pays
-    #: nothing.
+    #: nothing.  A ledger forces the ``rebuild`` kernel mode: rejection
+    #: records are per-tick history that only exists when pools are
+    #: actually rebuilt.
     ledger: bool = False
+    #: Candidate-pool maintenance mode: ``"incremental"`` (delta-maintained
+    #: pools — the default), ``"rebuild"`` (from-scratch every serve — the
+    #: differential oracle), or ``None`` to read ``$REPRO_KERNEL``.  The
+    #: mapping is byte-identical either way; see :mod:`repro.core.kernel`.
+    kernel: str | None = None
 
 
 #: Smallest heuristic runtime treated as distinguishable from zero when
@@ -168,143 +169,43 @@ class MappingResult:
 
 
 class SlrhScheduler:
-    """Base class implementing the clock-driven outer loop (Figure 1)."""
+    """Base class implementing the clock-driven outer loop (Figure 1).
+
+    The loop itself — clock advance, machine scan, candidate pools, the
+    commit walk — lives in :class:`repro.core.kernel.SchedulingKernel`;
+    a variant is nothing but a :class:`~repro.core.kernel.TickPolicy`
+    answering "how many commits per machine per tick, and what happens to
+    the pool between commits".
+    """
 
     #: Variant label used in reports; subclasses override.
     name = "SLRH"
+    #: The per-(tick, machine) serve rule; subclasses override.
+    policy: TickPolicy = TickPolicy(max_commits=1, refresh="none")
 
     def __init__(self, config: SlrhConfig) -> None:
         self.config = config
 
-    def _decision_time(self, clock: SimulationClock) -> float:
-        """Earliest instant a decision made at this tick may take effect
-        (the clock plus the configured decision latency)."""
-        return clock.now + self.config.decision_latency_cycles * self.config.cycle_seconds
-
-    # -- variant hook -------------------------------------------------------
-
-    def _serve_machine(
-        self,
-        schedule: Schedule,
-        machine: int,
-        clock: SimulationClock,
-        checker: FeasibilityChecker,
-        objective: ObjectiveFunction,
-        trace: MappingTrace,
-    ) -> int:
-        """Attempt assignment(s) on *machine*; returns how many were made."""
-        raise NotImplementedError
-
-    # -- shared machinery ----------------------------------------------------
-
-    def _commit_first_startable(
-        self,
-        schedule: Schedule,
-        pool,
-        clock: SimulationClock,
-        trace: MappingTrace,
-        objective: ObjectiveFunction,
-        replan: bool = False,
-    ) -> bool:
-        """Walk the ordered pool; commit the first candidate whose start
-        falls inside the horizon.  With *replan*, each candidate's plan is
-        recomputed first (SLRH-2's stale-pool walk).
-
-        When the trace carries a decision ledger, every pool member that
-        does *not* win this walk is recorded: horizon misses with their
-        overshoot, replan infeasibilities, and — once a winner commits —
-        the rest of the pool as ``lost_on_score`` against it (this is the
-        per-tick "machine rejected" record the ``explain`` CLI surfaces).
+    def make_kernel(self, schedule: Schedule) -> SchedulingKernel:
+        """A :class:`~repro.core.kernel.SchedulingKernel` for *schedule*
+        under this scheduler's configuration.  :meth:`map` builds one per
+        run; the churn engine builds one per *schedule* and threads it
+        through every segment so the incremental pool survives in between.
         """
-        ledger = trace.ledger
-        for index, candidate in enumerate(pool):
-            plan = candidate.plan
-            if replan:
-                if schedule.is_mapped(candidate.task):
-                    continue
-                plan = schedule.plan(
-                    candidate.task,
-                    candidate.version,
-                    plan.machine,
-                    not_before=self._decision_time(clock),
-                )
-                if not plan.feasible:
-                    if ledger is not None:
-                        ledger.reject(
-                            clock=clock.now,
-                            task=candidate.task,
-                            machine=plan.machine,
-                            version=plan.version.value,
-                            reason=ENERGY_INFEASIBLE,
-                            detail=f"stale-pool replan: {plan.reason}",
-                        )
-                    continue
-            # §IV: horizon eligibility is judged on the "earliest possible
-            # starting time ... given precedence and communication
-            # requirements" — the machine's own queue does not disqualify a
-            # candidate.  (For SLRH-1 the target machine is idle, so the two
-            # notions coincide; for SLRH-2/3 this is what lets one machine
-            # take several assignments in a single tick.)
-            if not clock.within_horizon(plan.data_ready):
-                if ledger is not None:
-                    ledger.reject(
-                        clock=clock.now,
-                        task=candidate.task,
-                        machine=plan.machine,
-                        version=plan.version.value,
-                        reason=OUTSIDE_HORIZON,
-                        margin=plan.data_ready - clock.horizon_end,
-                        score=candidate.score,
-                        detail=(
-                            f"data ready {plan.data_ready:.6g}s is past the "
-                            f"horizon end {clock.horizon_end:.6g}s"
-                        ),
-                    )
-                continue
-            tracer = schedule.tracer
-            span = (
-                tracer.span(
-                    "commit",
-                    task=plan.task,
-                    machine=plan.machine,
-                    version=plan.version.value,
-                )
-                if tracer.enabled
-                else NULL_SPAN
-            )
-            with span:
-                schedule.commit(plan)
-                trace.record_commit(
-                    clock=clock.now,
-                    plan=plan,
-                    objective=objective.of_schedule(schedule),
-                    pool_size=len(pool),
-                    t100=schedule.t100,
-                    tec=schedule.total_energy_consumed,
-                    aet=schedule.makespan,
-                )
-            if ledger is not None:
-                # Everyone below the winner lost this machine this walk.
-                for loser in pool[index + 1:]:
-                    if schedule.is_mapped(loser.task):
-                        continue
-                    ledger.reject(
-                        clock=clock.now,
-                        task=loser.task,
-                        machine=loser.plan.machine,
-                        version=loser.version.value,
-                        reason=LOST_ON_SCORE,
-                        margin=candidate.score - loser.score,
-                        score=loser.score,
-                        winner=candidate.task,
-                        detail=(
-                            f"task {candidate.task} won machine "
-                            f"{loser.plan.machine} ({candidate.score:.6g} vs "
-                            f"{loser.score:.6g})"
-                        ),
-                    )
-            return True
-        return False
+        cfg = self.config
+        scenario = schedule.scenario
+        return SchedulingKernel(
+            schedule,
+            FeasibilityChecker(scenario, comm_reserve=cfg.comm_reserve),
+            ObjectiveFunction.for_scenario(
+                scenario, cfg.weights, aet_mode=cfg.aet_mode
+            ),
+            mode=resolve_kernel_mode(cfg.kernel, ledger=cfg.ledger),
+            machine_order=cfg.machine_order,
+            decision_latency_seconds=(
+                cfg.decision_latency_cycles * cfg.cycle_seconds
+            ),
+        )
 
     def map(
         self,
@@ -313,6 +214,7 @@ class SlrhScheduler:
         start_cycle: int = 0,
         stop_cycle: int | None = None,
         tracer=None,
+        kernel: SchedulingKernel | None = None,
     ) -> MappingResult:
         """Run the heuristic to completion (or τ) on *scenario*.
 
@@ -330,9 +232,14 @@ class SlrhScheduler:
             the heuristic segment-by-segment between grid events.
         tracer:
             Optional :class:`repro.obs.spans.Tracer`; records the
-            ``map → tick → pool.build/select/commit`` span tree for
-            Chrome-trace export.  ``None`` (default) uses the shared
+            ``map → kernel.tick → pool.build/select/commit`` span tree
+            for Chrome-trace export.  ``None`` (default) uses the shared
             no-op tracer.
+        kernel:
+            Optional persistent :class:`~repro.core.kernel.SchedulingKernel`
+            to drive instead of building a fresh one — the churn engine
+            keeps one kernel per schedule across segments.  Must have been
+            built (via :meth:`make_kernel`) for this *schedule*.
         """
         cfg = self.config
         if tracer is None:
@@ -345,10 +252,10 @@ class SlrhScheduler:
             schedule.tracer = tracer
         if tracer.enabled and tracer.perf is None:
             tracer.perf = schedule.perf
-        checker = FeasibilityChecker(scenario, comm_reserve=cfg.comm_reserve)
-        objective = ObjectiveFunction.for_scenario(
-            scenario, cfg.weights, aet_mode=cfg.aet_mode
-        )
+        if kernel is None:
+            kernel = self.make_kernel(schedule)
+        elif kernel.schedule is not schedule:
+            raise ValueError("kernel was built for a different schedule")
         clock = SimulationClock(
             delta_t_cycles=cfg.delta_t_cycles,
             horizon_cycles=cfg.horizon_cycles,
@@ -360,20 +267,6 @@ class SlrhScheduler:
         if max_ticks is None:
             max_ticks = int(math.ceil(scenario.tau / clock.delta_t_seconds)) + 2
 
-        if cfg.machine_order not in ("index", "battery", "round_robin"):
-            raise ValueError(f"unknown machine_order {cfg.machine_order!r}")
-
-        def scan_order(tick_index: int) -> list[int]:
-            n = scenario.n_machines
-            if cfg.machine_order == "battery":
-                return sorted(
-                    range(n), key=lambda j: (-schedule.available_energy(j), j)
-                )
-            if cfg.machine_order == "round_robin":
-                offset = tick_index % n
-                return [(offset + k) % n for k in range(n)]
-            return list(range(n))
-
         stopwatch = Stopwatch()
         tracing = tracer.enabled
         with stopwatch, (
@@ -381,32 +274,14 @@ class SlrhScheduler:
             if tracing
             else NULL_SPAN
         ):
-            for tick_index in range(max_ticks):
-                if stop_cycle is not None and clock.cycle >= stop_cycle:
-                    break
-                trace.note_tick()
-                tick_span = (
-                    tracer.span("tick", tick=tick_index, clock=clock.now)
-                    if tracing
-                    else NULL_SPAN
-                )
-                with tick_span:
-                    for j in scan_order(tick_index):
-                        trace.note_machine_scan()
-                        if not schedule.machine_available(j, clock.now):
-                            continue
-                        made = self._serve_machine(
-                            schedule, j, clock, checker, objective, trace
-                        )
-                        if made == 0:
-                            trace.note_empty_pool()
-                        if schedule.is_complete:
-                            break
-                if schedule.is_complete:
-                    break
-                clock.tick()
-                if clock.exceeded(scenario.tau):
-                    break
+            kernel.run(
+                self.policy,
+                clock,
+                trace,
+                max_ticks=max_ticks,
+                stop_cycle=stop_cycle,
+                tracer=tracer,
+            )
         if (
             trace.ledger is not None
             and not schedule.is_complete
@@ -448,17 +323,7 @@ class SLRH1(SlrhScheduler):
     """Variant 1 — one assignment per available machine per tick (§V)."""
 
     name = "SLRH-1"
-
-    def _serve_machine(self, schedule, machine, clock, checker, objective, trace) -> int:
-        pool = build_candidate_pool(
-            schedule, checker, objective, machine,
-            not_before=self._decision_time(clock),
-            ledger=trace.ledger,
-        )
-        if not pool:
-            return 0
-        made = self._commit_first_startable(schedule, pool, clock, trace, objective)
-        return 1 if made else 0
+    policy = TickPolicy(max_commits=1, refresh="none")
 
 
 class SLRH2(SlrhScheduler):
@@ -466,30 +331,12 @@ class SLRH2(SlrhScheduler):
 
     The pool is built once; assignments continue (re-planning start times,
     but *not* re-evaluating versions or ordering) until the pool is
-    exhausted or nothing further can start within the horizon.
+    exhausted or nothing further can start within the horizon.  The paper
+    found this variant rarely maps all 1024 subtasks.
     """
 
     name = "SLRH-2"
-
-    def _serve_machine(self, schedule, machine, clock, checker, objective, trace) -> int:
-        pool = build_candidate_pool(
-            schedule, checker, objective, machine,
-            not_before=self._decision_time(clock),
-            ledger=trace.ledger,
-        )
-        if not pool:
-            return 0
-        made = 0
-        if self._commit_first_startable(schedule, pool, clock, trace, objective):
-            made += 1
-            # Subsequent walks must re-plan: the machine calendar moved.
-            while self._commit_first_startable(
-                schedule, pool, clock, trace, objective, replan=True
-            ):
-                made += 1
-                if schedule.is_complete:
-                    break
-        return made
+    policy = TickPolicy(max_commits=None, refresh="replan")
 
 
 class SLRH3(SlrhScheduler):
@@ -501,23 +348,7 @@ class SLRH3(SlrhScheduler):
     """
 
     name = "SLRH-3"
-
-    def _serve_machine(self, schedule, machine, clock, checker, objective, trace) -> int:
-        made = 0
-        while True:
-            pool = build_candidate_pool(
-                schedule, checker, objective, machine,
-                not_before=self._decision_time(clock),
-                ledger=trace.ledger,
-            )
-            if not pool:
-                break
-            if not self._commit_first_startable(schedule, pool, clock, trace, objective):
-                break
-            made += 1
-            if schedule.is_complete:
-                break
-        return made
+    policy = TickPolicy(max_commits=None, refresh="rebuild")
 
 
 #: Registry used by experiment drivers and the CLI examples.

@@ -8,6 +8,7 @@ Usage::
 
     python -m repro.experiments map (--scenario FILE | --generate N [--seed S])
                                     [--heuristic NAME] [--alpha A --beta B]
+                                    [--kernel incremental|rebuild]
                                     [--out PATH|-] [--ndjson]
                                     [--trace-out TRACE.json] [--ledger-out LOG.ndjson]
 
@@ -97,6 +98,12 @@ def map_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--alpha", type=float, default=None, help="objective α")
     parser.add_argument("--beta", type=float, default=None, help="objective β")
     parser.add_argument(
+        "--kernel", default=None, choices=("incremental", "rebuild"),
+        help="candidate-pool maintenance mode for the scheduling kernel "
+        "(default: $REPRO_KERNEL or 'incremental'; mappings are "
+        "byte-identical either way — 'rebuild' is the differential oracle)",
+    )
+    parser.add_argument(
         "--out", default="-",
         help="mapping output path ('-' streams to stdout; parents created)",
     )
@@ -123,6 +130,10 @@ def map_main(argv: list[str] | None = None) -> int:
     from repro.obs.ledger import write_decision_log
     from repro.obs.spans import Tracer
 
+    if args.kernel is not None:
+        # The registry builds schedulers with kernel=None, which defers to
+        # $REPRO_KERNEL — the flag is just a spelling of that contract.
+        os.environ["REPRO_KERNEL"] = args.kernel
     if args.scenario is not None:
         doc = _json.loads(pathlib.Path(args.scenario).read_text())
     else:

@@ -16,11 +16,19 @@ Canonical names are lowercase and dash-free (``slrh1`` … ``greedy``);
 The weighted heuristics (the SLRH family and Max-Max) take the paper's
 (α, β) objective weights; the classic minimum-completion-time baselines
 (Min-Min, Greedy) ignore them by construction.
+
+Every registered scheduler satisfies the :class:`Heuristic` protocol and
+runs on the shared :class:`repro.core.kernel.SchedulingKernel`: the
+clock-driven SLRH family supplies a :class:`~repro.core.kernel.TickPolicy`
+("how many commits per machine per tick, and what happens to the pool
+between commits") to the kernel's tick loop, while the static baselines
+(Max-Max, Min-Min, Greedy) supply a selection rule to its clockless round
+loop — one core under every heuristic.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.baselines.greedy import GreedyScheduler
 from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
@@ -28,6 +36,24 @@ from repro.baselines.minmin import MinMinScheduler
 from repro.core.objective import Weights
 from repro.core.slrh import SLRH1, SLRH2, SLRH3, MappingResult, SlrhConfig
 from repro.workload.scenario import Scenario
+
+
+@runtime_checkable
+class Heuristic(Protocol):
+    """What every registered scheduler looks like to a dispatch surface.
+
+    A heuristic carries a report-style display ``name`` and maps one
+    :class:`~repro.workload.scenario.Scenario` to a
+    :class:`~repro.core.slrh.MappingResult`.  The SLRH family's ``map``
+    accepts further keyword arguments (partial schedules, segment bounds,
+    tracers, a persistent kernel — see :meth:`SlrhScheduler.map
+    <repro.core.slrh.SlrhScheduler.map>`); callers that dispatch across the
+    whole registry use only this shared surface.
+    """
+
+    name: str
+
+    def map(self, scenario: Scenario) -> MappingResult: ...
 
 #: Default objective weights (README quickstart values) used when a caller
 #: names a weighted heuristic without supplying (α, β).

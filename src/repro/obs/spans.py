@@ -8,8 +8,10 @@ A *span* is a named, timed region of work entered as a context manager::
 Completed spans accumulate on the :class:`Tracer` (relative to its
 creation instant) and export as Chrome trace-event JSON — load the file
 in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` and the
-whole mapping is visible as a flame chart: ``map`` → per-``tick`` →
-``pool.build`` / ``select`` / ``commit``, exactly the §IV inner loop.
+whole mapping is visible as a flame chart: ``map`` → per-``kernel.tick``
+→ ``pool.delta`` (incremental candidate maintenance) or ``pool.build``
+(full rebuild) / ``select`` / ``commit``, exactly the §IV inner loop as
+the :class:`repro.core.kernel.SchedulingKernel` drives it.
 Span nesting needs no explicit stack: overlapping complete ("X") events
 on one thread row render nested by containment.
 
@@ -21,7 +23,8 @@ The **null tracer** (:data:`NULL_TRACER`) is the disabled path threaded
 through the hot loops: its :meth:`~NullTracer.span` returns one shared
 no-op context manager, so instrumentation costs two cheap calls per
 span site and allocates nothing.  The hottest sites (per-candidate
-``select``, per-scan ``pool.build``, per-tick ``tick``) go further and
+``select``, per-scan ``pool.build``/``pool.delta``, per-tick
+``kernel.tick``) go further and
 branch on ``tracer.enabled`` before even building the span's kwargs —
 when disabled they pay a single attribute check (see :data:`NULL_SPAN`).  ``Tracer`` instances are single-thread
 affine (one mapping = one tracer); the service does not share them.
@@ -72,7 +75,7 @@ _NULL_SPAN = _NullSpan()
 #: Shared no-op span for hot paths that want to skip even the kwargs-dict
 #: construction of a ``tracer.span(...)`` call when tracing is off::
 #:
-#:     cm = tracer.span("tick", tick=i) if tracer.enabled else NULL_SPAN
+#:     cm = tracer.span("kernel.tick", tick=i) if tracer.enabled else NULL_SPAN
 #:     with cm: ...
 NULL_SPAN = _NULL_SPAN
 

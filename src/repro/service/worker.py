@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.core.kernel import resolve_kernel_mode
 from repro.heuristics import run_heuristic
 from repro.io.serialization import mapping_to_dict, scenario_from_dict
 from repro.sim.trace import MappingTrace
@@ -66,6 +67,10 @@ def trace_events(trace: MappingTrace) -> list[dict]:
             "commits": trace.n_commits,
             "empty_pool_ticks": trace.empty_pool_ticks,
             "machine_scans": trace.machine_scans,
+            # Which candidate-pool maintenance mode the kernel ran under
+            # (mappings are byte-identical across modes; this is for
+            # provenance when $REPRO_KERNEL pins the rebuild oracle).
+            "kernel": resolve_kernel_mode(None),
         }
     )
     return events

@@ -125,6 +125,10 @@ def run_with_churn(
     schedule = Schedule(scenario, plan_cache=scheduler.config.plan_cache)
     ordered = sorted(events, key=lambda e: e.cycle)
 
+    # One kernel lives across every segment: each `map` re-bases the
+    # incremental candidate pool against whatever the events in between
+    # did to the schedule (rollbacks, offline flips, sunk-energy debits).
+    kernel = scheduler.make_kernel(schedule)
     records: list[ChurnRecord] = []
     cursor = 0
     total_seconds = 0.0
@@ -132,7 +136,11 @@ def run_with_churn(
     result: MappingResult | None = None
     for ev in ordered:
         result = scheduler.map(
-            scenario, schedule=schedule, start_cycle=cursor, stop_cycle=ev.cycle
+            scenario,
+            schedule=schedule,
+            start_cycle=cursor,
+            stop_cycle=ev.cycle,
+            kernel=kernel,
         )
         total_seconds += result.heuristic_seconds
         merged_trace = _merge_trace(merged_trace, result.trace)
@@ -156,7 +164,9 @@ def run_with_churn(
             records.append(ChurnRecord(event=ev, rolled_back=(), sunk_energy=0.0))
         cursor = ev.cycle
 
-    result = scheduler.map(scenario, schedule=schedule, start_cycle=cursor)
+    result = scheduler.map(
+        scenario, schedule=schedule, start_cycle=cursor, kernel=kernel
+    )
     total_seconds += result.heuristic_seconds
     merged_trace = _merge_trace(merged_trace, result.trace)
 

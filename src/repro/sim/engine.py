@@ -209,7 +209,12 @@ def run_with_machine_loss(
     ----------
     scheduler:
         The SLRH instance used both for the initial mapping and for the
-        re-mapping pass (which resumes at *loss_cycle*).
+        re-mapping pass (which resumes at *loss_cycle*).  Each pass runs
+        on its own :class:`repro.core.kernel.SchedulingKernel` — the
+        rebuilt schedule lives on a *reduced* scenario, so the initial
+        pass's incremental pool cannot carry over (contrast
+        :func:`repro.sim.churn.run_with_churn`, which keeps machine
+        indexing stable and threads one kernel through every segment).
     loss_cycle:
         Clock cycle at which *lost_machine* vanishes.
     """

@@ -209,6 +209,9 @@ class Schedule:
         self.assignments: dict[int, Assignment] = {}
         self._unmapped_parents = [len(p) for p in scenario.dag.parents]
         self._ready = {t for t, c in enumerate(self._unmapped_parents) if c == 0}
+        # Maintained complement of `assignments` so unmapped_tasks() never
+        # rescans range(n_tasks); commit/unassign keep it in lockstep.
+        self._unmapped = set(range(scenario.n_tasks))
         self._t100 = 0
         self._makespan = 0.0
         # Held outgoing-comm reserves: per machine total and per DAG edge.
@@ -267,7 +270,7 @@ class Schedule:
         return frozenset(self._ready)
 
     def unmapped_tasks(self) -> list[int]:
-        return [t for t in range(self.scenario.n_tasks) if t not in self.assignments]
+        return sorted(self._unmapped)
 
     def machine_available(self, j: int, clock: float) -> bool:
         """SLRH availability test (§IV): machine *j* is part of the grid and
@@ -710,18 +713,30 @@ class Schedule:
             # data_ready = max(not_before, dr_floor) is unchanged: either
             # the clock did not move, or the dr_floor dominates both clocks.
             return entry.pair
-        if not_before > entry.pair_nb and not_before <= min(
-            entry.pair[0].start, entry.pair[1].start
-        ):
-            # The clock advanced past dr_floor, but both cached exec slots
-            # start at/after the new clock.  The gap search is monotone in
-            # its lower bound — everything before a returned slot was
-            # rejected, and raising the bound cannot make a rejected
-            # position fit — so a fresh search returns the same slots.
-            # Only the clock clamp inside data_ready moves.
-            pair = (
-                replace(entry.pair[0], data_ready=not_before),
-                replace(entry.pair[1], data_ready=not_before),
+        if not_before > entry.pair_nb:
+            # The clock advanced past dr_floor, so data_ready = not_before.
+            # A feasible plan keeps its exec slot iff the slot starts
+            # at/after the new clock: the gap search is monotone in its
+            # lower bound — everything before a returned slot was rejected,
+            # and raising the bound cannot make a rejected position fit —
+            # so a fresh search returns the same slot.  A dead plan carries
+            # no placement (its start pins to data_ready), so it re-bases
+            # unconditionally; its duration comes from the static exec
+            # facts, exactly the arithmetic of a fresh computation.
+            for p in entry.pair:
+                if p.feasible and not_before > p.start:
+                    return None
+            exec_facts = self._exec_static[(entry.pair[0].task, machine)]
+            pair = tuple(
+                replace(p, data_ready=not_before)
+                if p.feasible
+                else replace(
+                    p,
+                    start=not_before,
+                    finish=not_before + exec_facts[vi][0],
+                    data_ready=not_before,
+                )
+                for vi, p in enumerate(entry.pair)
             )
             entry.pair = pair
             entry.pair_nb = not_before
@@ -791,9 +806,6 @@ class Schedule:
         infeas_sig: list[tuple | None] = []
         for vi, version in enumerate((Version.PRIMARY, Version.SECONDARY)):
             duration, exec_energy = exec_facts[vi]
-            start = exec_timeline.earliest_gap(
-                duration, data_ready, append_only=not insertion
-            )
             if offline:
                 reason = f"machine {machine} (or a required sender) is offline"
                 demands.append(None)
@@ -817,6 +829,16 @@ class Schedule:
                     )
                     if reason
                     else None
+                )
+            if reason:
+                # Dead plan: it can never be committed or scored, so the
+                # calendar gap search is wasted work — anchor it at its
+                # data-ready time.  The verdict and reason (what the ledger
+                # records) are computed above, before placement.
+                start = data_ready
+            else:
+                start = exec_timeline.earliest_gap(
+                    duration, data_ready, append_only=not insertion
                 )
             plans.append(
                 ExecutionPlan(
@@ -1021,6 +1043,7 @@ class Schedule:
             self._t100 += 1
         self._makespan = max(self._makespan, plan.finish)
         self._ready.discard(plan.task)
+        self._unmapped.discard(plan.task)
         for child in self.scenario.dag.children[plan.task]:
             self._parent_epoch[child] += 1
             self._unmapped_parents[child] -= 1
@@ -1042,6 +1065,7 @@ class Schedule:
                     f"cannot unassign task {task}: child {child} is still mapped"
                 )
         a = self.assignments.pop(task)
+        self._unmapped.add(task)
         self.perf.inc("unassign.count")
         self.exec_timeline[a.machine].release(a.start, a.finish)
         self.energy.credit(a.machine, a.energy)

@@ -1,0 +1,312 @@
+"""The scheduling kernel: mode resolution, pool-delta equivalence, and the
+byte-identity differential between incremental and rebuild modes.
+
+The incremental candidate pool is an optimisation with a proof obligation:
+for every heuristic, under any event sequence, the mapping it produces must
+be byte-identical to the from-scratch rebuild path (the differential
+oracle, ``REPRO_KERNEL=rebuild``).  These tests pin that obligation three
+ways — a Hypothesis property test equating :meth:`CandidatePool.pool_for`
+with :func:`build_candidate_pool` under random commit/advance/churn
+interleavings, whole-mapping byte identity for all six registry
+heuristics, and a churn replay driven through one persistent kernel.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.kernel import (
+    KERNEL_MODES,
+    CandidatePool,
+    SchedulingKernel,
+    TickPolicy,
+    resolve_kernel_mode,
+)
+from repro.core.objective import ObjectiveFunction, Weights
+from repro.core.pool import build_candidate_pool
+from repro.core.slrh import SLRH1, SLRH2, SLRH3, SlrhConfig
+from repro.heuristics import HEURISTIC_NAMES, run_heuristic
+from repro.io.serialization import canonical_mapping_bytes
+from repro.sim.churn import ChurnEvent, run_with_churn
+from repro.sim.schedule import Schedule
+from repro.workload.scenario import (
+    generate_scenario,
+    paper_scaled_grid,
+    paper_scaled_spec,
+)
+
+_WEIGHTS = Weights.from_alpha_beta(0.5, 0.2)
+_SCENARIOS = {}
+
+
+def _scenario(n: int, seed: int):
+    key = (n, seed)
+    if key not in _SCENARIOS:
+        _SCENARIOS[key] = generate_scenario(
+            paper_scaled_spec(n), grid=paper_scaled_grid(n), seed=seed
+        )
+    return _SCENARIOS[key]
+
+
+class TestModeResolution:
+    def test_default_is_incremental(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel_mode() == "incremental"
+
+    def test_env_selects_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "rebuild")
+        assert resolve_kernel_mode() == "rebuild"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "rebuild")
+        assert resolve_kernel_mode("incremental") == "incremental"
+
+    @pytest.mark.parametrize(
+        "alias,mode",
+        [
+            ("inc", "incremental"), ("delta", "incremental"),
+            ("1", "incremental"), ("on", "incremental"),
+            ("full", "rebuild"), ("oracle", "rebuild"),
+            ("0", "rebuild"), ("off", "rebuild"),
+            ("Rebuild", "rebuild"), (" incremental ", "incremental"),
+        ],
+    )
+    def test_aliases(self, alias, mode):
+        assert resolve_kernel_mode(alias) == mode
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel mode"):
+            resolve_kernel_mode("bogus")
+
+    def test_ledger_forces_rebuild(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "incremental")
+        assert resolve_kernel_mode("incremental", ledger=True) == "rebuild"
+
+    def test_scheduler_with_ledger_builds_rebuild_kernel(self, tiny_scenario):
+        scheduler = SLRH1(
+            SlrhConfig(weights=_WEIGHTS, ledger=True, kernel="incremental")
+        )
+        kernel = scheduler.make_kernel(Schedule(tiny_scenario))
+        assert kernel.mode == "rebuild"
+        assert kernel.pool is None
+
+
+class TestConstruction:
+    def test_policy_rejects_unknown_refresh(self):
+        with pytest.raises(ValueError, match="refresh"):
+            TickPolicy(max_commits=1, refresh="sometimes")
+
+    def test_policy_rejects_nonpositive_commits(self):
+        with pytest.raises(ValueError, match="max_commits"):
+            TickPolicy(max_commits=0, refresh="none")
+
+    def test_kernel_rejects_unknown_mode(self, tiny_scenario):
+        schedule = Schedule(tiny_scenario)
+        with pytest.raises(ValueError, match="kernel mode"):
+            SchedulingKernel(schedule, None, None, mode="bogus")
+
+    def test_kernel_rejects_unknown_machine_order(self, tiny_scenario):
+        schedule = Schedule(tiny_scenario)
+        with pytest.raises(ValueError, match="machine_order"):
+            SchedulingKernel(schedule, None, None, machine_order="alphabetical")
+
+    def test_modes_constant_covers_both_paths(self):
+        assert KERNEL_MODES == ("incremental", "rebuild")
+
+    def test_map_rejects_foreign_kernel(self, tiny_scenario):
+        scheduler = SLRH1(SlrhConfig(weights=_WEIGHTS))
+        foreign = scheduler.make_kernel(Schedule(tiny_scenario))
+        with pytest.raises(ValueError, match="different schedule"):
+            scheduler.map(
+                tiny_scenario, schedule=Schedule(tiny_scenario), kernel=foreign
+            )
+
+
+def _pool_key(pool):
+    """Comparable image of an ordered candidate pool — every field a fresh
+    build determines, bit-for-bit."""
+    return [
+        (
+            c.task,
+            c.version,
+            c.plan.machine,
+            c.plan.start,
+            c.plan.finish,
+            c.plan.data_ready,
+            c.plan.energy_delta,
+            tuple((x.src, x.dst, x.start, x.finish) for x in c.plan.comms),
+            c.score,
+        )
+        for c in pool
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5),
+    n=st.sampled_from([8, 12, 16]),
+    data=st.data(),
+)
+def test_incremental_pool_matches_rebuild_under_random_events(seed, n, data):
+    """THE kernel property: after any interleaving of commits, clock
+    advances, and churn-style invalidations, the delta-maintained pool is
+    identical — members, plans, scores, order — to a from-scratch build."""
+    scenario = _scenario(n, seed)
+    schedule = Schedule(scenario)
+    checker = FeasibilityChecker(scenario)
+    objective = ObjectiveFunction.for_scenario(scenario, _WEIGHTS)
+    pool = CandidatePool(schedule, checker, objective)
+    n_machines = scenario.n_machines
+    offline: set[int] = set()
+    nb = 0.0
+
+    def check(machine: int) -> list:
+        incremental, _ = pool.pool_for(machine, nb)
+        oracle = build_candidate_pool(
+            schedule, checker, objective, machine, not_before=nb
+        )
+        assert _pool_key(incremental) == _pool_key(oracle)
+        return incremental
+
+    actions = data.draw(
+        st.lists(
+            st.sampled_from(["query", "commit", "advance", "churn"]),
+            min_size=4,
+            max_size=14,
+        )
+    )
+    for action in actions:
+        online = [j for j in range(n_machines) if j not in offline]
+        if action in ("query", "commit") and online:
+            machine = data.draw(st.sampled_from(online))
+            members = check(machine)
+            if action == "commit" and members and not schedule.is_complete:
+                plan = members[data.draw(
+                    st.integers(min_value=0, max_value=len(members) - 1)
+                )].plan
+                schedule.commit(plan)
+                pool.note_commit(plan)
+        elif action == "advance":
+            nb += data.draw(st.floats(min_value=0.5, max_value=400.0))
+        elif action == "churn":
+            machine = data.draw(st.integers(min_value=0, max_value=n_machines - 1))
+            if machine in offline:
+                offline.discard(machine)
+                schedule.set_offline(machine, False)
+            else:
+                offline.add(machine)
+                schedule.set_offline(machine, True)
+            pool.invalidate_all()
+    # Final sweep: every online machine agrees with the oracle.
+    for machine in range(n_machines):
+        if machine not in offline:
+            check(machine)
+
+
+def _map_with_mode(name: str, scenario, mode: str, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", mode)
+    if name in ("minmin", "greedy"):
+        return run_heuristic(name, scenario)
+    return run_heuristic(name, scenario, 0.5, 0.2)
+
+
+class TestByteIdentity:
+    """Mapping bytes must not depend on the kernel mode — for any registry
+    heuristic (the static baselines are mode-blind by construction; the
+    SLRH family is where the incremental pool earns its keep)."""
+
+    @pytest.mark.parametrize("name", HEURISTIC_NAMES)
+    def test_registry_heuristics_identical_across_modes(
+        self, name, small_scenario, monkeypatch
+    ):
+        results = {
+            mode: _map_with_mode(name, small_scenario, mode, monkeypatch)
+            for mode in KERNEL_MODES
+        }
+        inc, reb = results["incremental"], results["rebuild"]
+        assert canonical_mapping_bytes(inc.schedule) == canonical_mapping_bytes(
+            reb.schedule
+        )
+
+    @pytest.mark.parametrize("cls", [SLRH1, SLRH2, SLRH3])
+    def test_slrh_trace_counters_identical_across_modes(self, cls, small_scenario):
+        traces = {}
+        for mode in KERNEL_MODES:
+            cfg = SlrhConfig(weights=_WEIGHTS, kernel=mode)
+            traces[mode] = cls(cfg).map(small_scenario).trace
+        inc, reb = traces["incremental"], traces["rebuild"]
+        assert (inc.ticks, inc.machine_scans, inc.empty_pool_ticks) == (
+            reb.ticks, reb.machine_scans, reb.empty_pool_ticks
+        )
+        assert inc.records == reb.records
+
+    @pytest.mark.parametrize("order", ["battery", "round_robin"])
+    def test_machine_order_variants_identical_across_modes(
+        self, order, small_scenario
+    ):
+        mappings = {}
+        for mode in KERNEL_MODES:
+            cfg = SlrhConfig(weights=_WEIGHTS, kernel=mode, machine_order=order)
+            mappings[mode] = canonical_mapping_bytes(
+                SLRH2(cfg).map(small_scenario).schedule
+            )
+        assert mappings["incremental"] == mappings["rebuild"]
+
+    def test_incremental_kernel_actually_reuses_entries(self, small_scenario):
+        result = SLRH1(SlrhConfig(weights=_WEIGHTS, kernel="incremental")).map(
+            small_scenario
+        )
+        perf = result.trace.perf
+        assert perf.get("pool.reuse_hits", 0) > 0
+        assert perf.get("pool.invalidations", 0) > 0
+
+    def test_ledger_contents_match_rebuild(self, small_scenario):
+        """A ledgered run (forced onto the rebuild path) must report the
+        same rejection history as an explicitly rebuild-mode run."""
+        via_default = SLRH1(SlrhConfig(weights=_WEIGHTS, ledger=True)).map(
+            small_scenario
+        )
+        via_rebuild = SLRH1(
+            SlrhConfig(weights=_WEIGHTS, ledger=True, kernel="rebuild")
+        ).map(small_scenario)
+        assert via_default.trace.ledger.records == via_rebuild.trace.ledger.records
+        assert canonical_mapping_bytes(via_default.schedule) == (
+            canonical_mapping_bytes(via_rebuild.schedule)
+        )
+
+
+class TestChurnDifferential:
+    """One kernel persisted across churn segments re-bases cleanly: the
+    whole timeline — mappings, rollbacks, traces — is byte-identical to
+    the rebuild oracle."""
+
+    _EVENTS = (
+        ChurnEvent(cycle=2, machine=1, kind="loss"),
+        ChurnEvent(cycle=5, machine=1, kind="join"),
+        ChurnEvent(cycle=7, machine=3, kind="loss"),
+    )
+
+    @pytest.mark.parametrize("cls", [SLRH1, SLRH2, SLRH3])
+    def test_churn_identical_across_modes(self, cls, small_scenario):
+        outcomes = {}
+        for mode in KERNEL_MODES:
+            scheduler = cls(SlrhConfig(weights=_WEIGHTS, kernel=mode))
+            outcomes[mode] = run_with_churn(
+                small_scenario, scheduler, list(self._EVENTS)
+            )
+        inc, reb = outcomes["incremental"], outcomes["rebuild"]
+        assert canonical_mapping_bytes(inc.final.schedule) == (
+            canonical_mapping_bytes(reb.final.schedule)
+        )
+        assert inc.records == reb.records
+        assert inc.final.trace.records == reb.final.trace.records
+        assert (
+            inc.final.trace.ticks,
+            inc.final.trace.machine_scans,
+            inc.final.trace.empty_pool_ticks,
+        ) == (
+            reb.final.trace.ticks,
+            reb.final.trace.machine_scans,
+            reb.final.trace.empty_pool_ticks,
+        )

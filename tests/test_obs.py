@@ -253,7 +253,7 @@ class TestDecisionLedger:
     def test_spans_cover_the_mapping_hierarchy(self, ledgered_run):
         _, _, tracer = ledgered_run
         names = {e["name"] for e in tracer.events}
-        assert {"map", "tick", "pool.build", "select", "commit"} <= names
+        assert {"map", "kernel.tick", "pool.build", "select", "commit"} <= names
         assert len(tracer.spans_named("map")) == 1
 
     def test_span_histograms_land_in_result_perf_artifact(self, ledgered_run):
