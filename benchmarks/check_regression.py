@@ -21,6 +21,18 @@ checked-in baseline (``benchmarks/BENCH_regression.json``):
    <= 0.05), catching cache-effectiveness regressions that do not change
    the structural counters.
 
+3. **The obs disabled-path budget** (also self-normalised): the same
+   mapping runs interleaved with observability off and with a live
+   in-memory :class:`repro.obs.spans.Tracer`.  Mapping bytes and
+   structural counters must be identical (observability never steers the
+   heuristic), and the disabled run must not be slower than
+   ``enabled * (1 + OBS_BUDGET)`` — the disabled path is supposed to cost
+   a flag check, so it can only lose to the enabled path when a guard is
+   inverted (work done *only* when obs is off), which is exactly the
+   regression the <2% budget from the obs PR forbids.  The
+   ``obs-guarded-*`` lint rules enforce the guards statically; this
+   checks them dynamically.
+
 Usage::
 
     python benchmarks/check_regression.py              # gate against baseline
@@ -46,6 +58,8 @@ if __package__ in (None, ""):  # script invocation: python benchmarks/check_...
 from repro.core.objective import Weights  # noqa: E402
 from repro.core.slrh import SLRH1, SLRH3, SlrhConfig  # noqa: E402
 from repro.heuristics import generate_named_scenario  # noqa: E402
+from repro.io.serialization import canonical_json_bytes, mapping_to_dict  # noqa: E402
+from repro.obs.spans import Tracer  # noqa: E402
 
 SCHEMA = "repro.bench.regression/1"
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_regression.json"
@@ -77,6 +91,84 @@ EXACT_COUNTERS = (
 
 #: Derived rates checked with an absolute tolerance.
 RATE_TOLERANCE = 0.05
+
+#: The obs PR's disabled-path budget: obs-off may cost at most this
+#: fraction more than obs-on.  (Off is normally *faster*; losing to the
+#: enabled path means a guard is inverted or the disabled path regressed.)
+OBS_BUDGET = 0.02
+
+
+def obs_budget_check(repeats: int = 3) -> tuple[dict, list[str]]:
+    """Interleaved obs-off / obs-on A/B on SLRH-1; returns (doc, failures).
+
+    Checks, in order of importance: the mapping bytes are identical with
+    and without tracing, the structural counters are identical, and the
+    disabled path meets :data:`OBS_BUDGET`.
+    """
+    scenario = generate_named_scenario(N_TASKS, SEED)
+    weights = Weights.from_alpha_beta(ALPHA, BETA)
+    failures: list[str] = []
+
+    def one_run(traced: bool) -> tuple[float, bytes, dict, int]:
+        scheduler = SLRH1(SlrhConfig(weights=weights, kernel="incremental"))
+        tracer = Tracer() if traced else None
+        started = time.perf_counter()
+        result = scheduler.map(scenario, tracer=tracer)
+        elapsed = time.perf_counter() - started
+        counters = {
+            k: (result.trace.perf or {}).get(k, 0.0) for k in EXACT_COUNTERS
+        }
+        spans = len(tracer.events) if tracer is not None else 0
+        return elapsed, canonical_json_bytes(mapping_to_dict(result.schedule)), counters, spans
+
+    off_best = on_best = float("inf")
+    off_bytes = on_bytes = b""
+    off_counters: dict = {}
+    on_counters: dict = {}
+    span_count = 0
+    # Interleave A/B so frequency scaling and cache warmth hit both arms.
+    for _ in range(repeats):
+        off_s, off_bytes, off_counters, _ = one_run(traced=False)
+        on_s, on_bytes, on_counters, span_count = one_run(traced=True)
+        off_best = min(off_best, off_s)
+        on_best = min(on_best, on_s)
+
+    if off_bytes != on_bytes:
+        failures.append(
+            "obs: mapping bytes differ with tracing on vs off — "
+            "observability is steering the heuristic"
+        )
+    if off_counters != on_counters:
+        drift = {
+            k: (off_counters.get(k), on_counters.get(k))
+            for k in EXACT_COUNTERS
+            if off_counters.get(k) != on_counters.get(k)
+        }
+        failures.append(
+            f"obs: structural counters differ with tracing on vs off: {drift}"
+        )
+    if span_count == 0:
+        failures.append(
+            "obs: the enabled tracer recorded zero spans — the A/B is "
+            "vacuous (did the span call sites move?)"
+        )
+    ceiling = on_best * (1.0 + OBS_BUDGET)
+    if off_best > ceiling:
+        failures.append(
+            f"obs: disabled-path run ({off_best*1e3:.1f}ms) is more than "
+            f"{OBS_BUDGET:.0%} slower than the traced run ({on_best*1e3:.1f}ms) "
+            "— an obs guard is inverted or the disabled path regressed"
+        )
+    doc = {
+        "off_seconds": round(off_best, 6),
+        "on_seconds": round(on_best, 6),
+        "off_over_on": round(off_best / on_best, 4) if on_best > 0 else 0.0,
+        "spans": span_count,
+        "budget": OBS_BUDGET,
+        "mapping_identical": off_bytes == on_bytes,
+        "counters_identical": off_counters == on_counters,
+    }
+    return doc, failures
 
 
 def _best_seconds(
@@ -221,6 +313,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     snapshot = measure(repeats=max(1, args.repeats))
+    obs_doc, obs_failures = obs_budget_check(repeats=max(1, args.repeats))
+    snapshot["obs_budget"] = obs_doc
     if args.out:
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -243,7 +337,7 @@ def main(argv: list[str] | None = None) -> int:
               "regenerate with --update", file=sys.stderr)
         return 1
 
-    failures = compare(snapshot, baseline, args.tolerance)
+    failures = compare(snapshot, baseline, args.tolerance) + obs_failures
     for name, fresh in sorted(snapshot["variants"].items()):
         base = baseline["variants"].get(name, {})
         print(
@@ -252,6 +346,12 @@ def main(argv: list[str] | None = None) -> int:
             f"speedup {fresh['cache_speedup']:.2f}x "
             f"(baseline {base.get('cache_speedup', float('nan')):.2f}x)"
         )
+    print(
+        f"obs A/B: off {obs_doc['off_seconds']*1e3:7.1f}ms  "
+        f"on {obs_doc['on_seconds']*1e3:7.1f}ms  "
+        f"off/on {obs_doc['off_over_on']:.3f} "
+        f"(budget <= {1.0 + OBS_BUDGET:.2f}, {obs_doc['spans']} spans)"
+    )
     if failures:
         print(f"\nPERF REGRESSION ({len(failures)} failure(s)):", file=sys.stderr)
         for f in failures:

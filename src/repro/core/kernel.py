@@ -66,12 +66,13 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.objective import ObjectiveFunction
 from repro.core.pool import Candidate, build_candidate_pool, select_candidate
 from repro.obs.ledger import ENERGY_INFEASIBLE, LOST_ON_SCORE, OUTSIDE_HORIZON
-from repro.obs.spans import NULL_SPAN, NULL_TRACER
+from repro.obs.spans import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
 from repro.sim.clock import SimulationClock
 from repro.sim.schedule import ExecutionPlan, Schedule
 from repro.sim.trace import MappingTrace
@@ -218,7 +219,7 @@ class CandidatePool:
         )
 
     def pool_for(
-        self, machine: int, not_before: float, tracer=NULL_TRACER
+        self, machine: int, not_before: float, tracer: Tracer | NullTracer = NULL_TRACER
     ) -> tuple[list[Candidate], float | None]:
         """The ordered pool U for *machine* at *not_before*, plus the
         earliest release time among ready-but-unreleased tasks (``None``
@@ -445,7 +446,11 @@ class SchedulingKernel:
                 break
 
     def _build_pool(
-        self, machine: int, not_before: float, trace: MappingTrace, tracer
+        self,
+        machine: int,
+        not_before: float,
+        trace: MappingTrace,
+        tracer: Tracer | NullTracer,
     ) -> tuple[list[Candidate], float | None]:
         if self.pool is None:
             return (
@@ -467,7 +472,7 @@ class SchedulingKernel:
         policy: TickPolicy,
         clock: SimulationClock,
         trace: MappingTrace,
-        tracer,
+        tracer: Tracer | NullTracer,
     ) -> int:
         """One (tick, machine) serve under *policy*; returns commits made."""
         schedule = self.schedule
@@ -622,7 +627,7 @@ class SchedulingKernel:
 
     def run_static(
         self,
-        select,
+        select: Callable[[], tuple[ExecutionPlan | None, int]],
         trace: MappingTrace,
         *,
         note_ticks: bool = True,

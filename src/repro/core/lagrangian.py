@@ -105,7 +105,8 @@ def adaptive_slrh(
             best = result
         weights = controller.propose(weights, result, iteration)
 
-    assert best is not None  # max_iters >= 1 guarantees at least one run
+    if best is None:  # unreachable while max_iters >= 1 is validated above
+        raise RuntimeError("receding-horizon loop produced no iterations")
     return best, history
 
 

@@ -38,7 +38,7 @@ from repro.obs.ledger import (
 )
 from repro.obs.spans import NULL_SPAN
 from repro.sim.schedule import ExecutionPlan, Schedule
-from repro.workload.versions import SECONDARY
+from repro.workload.versions import SECONDARY, Version
 
 
 @dataclass(frozen=True)
@@ -50,7 +50,7 @@ class Candidate:
     score: float
 
     @property
-    def version(self):
+    def version(self) -> Version:
         return self.plan.version
 
 

@@ -35,7 +35,7 @@ from repro.core.feasibility import FeasibilityChecker
 from repro.core.kernel import SchedulingKernel, TickPolicy, resolve_kernel_mode
 from repro.core.objective import ObjectiveFunction, Weights
 from repro.obs.ledger import DEADLINE_INFEASIBLE, DecisionLedger
-from repro.obs.spans import NULL_SPAN, NULL_TRACER
+from repro.obs.spans import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
 from repro.sim.clock import SimulationClock
 from repro.sim.schedule import Schedule
 from repro.sim.trace import MappingTrace
@@ -213,7 +213,7 @@ class SlrhScheduler:
         schedule: Schedule | None = None,
         start_cycle: int = 0,
         stop_cycle: int | None = None,
-        tracer=None,
+        tracer: Tracer | NullTracer | None = None,
         kernel: SchedulingKernel | None = None,
     ) -> MappingResult:
         """Run the heuristic to completion (or τ) on *scenario*.

@@ -21,6 +21,7 @@ bound's reference machine (§VI) — is always fast.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.grid.machine import FAST_MACHINE, SLOW_MACHINE, MachineClass, MachineSpec
 
@@ -39,7 +40,7 @@ class GridConfig:
     def __len__(self) -> int:
         return len(self.machines)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[MachineSpec]:
         return iter(self.machines)
 
     def __getitem__(self, j: int) -> MachineSpec:

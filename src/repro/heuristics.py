@@ -35,6 +35,7 @@ from repro.baselines.maxmax import MaxMaxConfig, MaxMaxScheduler
 from repro.baselines.minmin import MinMinScheduler
 from repro.core.objective import Weights
 from repro.core.slrh import SLRH1, SLRH2, SLRH3, MappingResult, SlrhConfig
+from repro.obs.spans import Tracer
 from repro.workload.scenario import Scenario
 
 
@@ -61,14 +62,14 @@ DEFAULT_ALPHA = 0.5
 DEFAULT_BETA = 0.2
 
 
-def _slrh(cls) -> Callable[..., object]:
-    def build(weights: Weights, ledger: bool = False):
+def _slrh(cls: type) -> Callable[..., Heuristic]:
+    def build(weights: Weights, ledger: bool = False) -> Heuristic:
         return cls(SlrhConfig(weights=weights, ledger=ledger))
 
     return build
 
 
-def _maxmax(weights: Weights, ledger: bool = False):
+def _maxmax(weights: Weights, ledger: bool = False) -> MaxMaxScheduler:
     if ledger:
         raise ValueError("the decision ledger is only supported by the SLRH family")
     return MaxMaxScheduler(MaxMaxConfig(weights=weights))
@@ -125,7 +126,9 @@ def display_name(name: str) -> str:
     return table[canonical][0]
 
 
-def make_scheduler(name: str, weights: Weights | None = None, ledger: bool = False):
+def make_scheduler(
+    name: str, weights: Weights | None = None, ledger: bool = False
+) -> Heuristic:
     """Build the scheduler registered under *name*.
 
     *weights* applies to the weighted heuristics (SLRH family, Max-Max)
@@ -153,7 +156,7 @@ def run_heuristic(
     beta: float | None = None,
     *,
     ledger: bool = False,
-    tracer=None,
+    tracer: "Tracer | None" = None,
 ) -> MappingResult:
     """Map *scenario* with the heuristic registered under *name*.
 

@@ -1,0 +1,184 @@
+"""Data model: findings, suppressions, and the per-file lint context."""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+
+#: ``# repro-lint: disable=rule-a,rule-b -- justification text``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\-\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def to_dict(self) -> dict:
+        doc: dict = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.justification is not None:
+            doc["justification"] = self.justification
+        return doc
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# repro-lint: disable=...`` comment.
+
+    *rules* is the set of rule ids it silences; *line* is the physical
+    line it applies to (the comment's own line — a standalone comment
+    line also covers the next non-blank line, see
+    :meth:`FileContext.suppression_for`).  *reason* is the mandatory
+    ``-- justification`` tail; ``None`` means the suppression itself is
+    a finding.
+    """
+
+    line: int
+    rules: frozenset[str]
+    reason: str | None
+    standalone: bool  # the comment is the whole line (covers the next line)
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules or "all" in self.rules
+
+
+def _parse_suppressions(source: str) -> list[Suppression]:
+    out: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m is None:
+                continue
+            rules = frozenset(
+                r.strip() for r in m.group("rules").split(",") if r.strip()
+            )
+            reason = m.group("reason")
+            reason = reason.strip() if reason and reason.strip() else None
+            standalone = tok.line.strip().startswith("#")
+            out.append(
+                Suppression(
+                    line=tok.start[0], rules=rules, reason=reason,
+                    standalone=standalone,
+                )
+            )
+    except tokenize.TokenError:
+        pass  # syntax findings are reported by the runner, not masked here
+    return out
+
+
+class FileContext:
+    """Everything a rule needs about one source file.
+
+    Built once per file by the runner: the parsed AST, the raw lines
+    (rules that read trailing comments — the lock-discipline annotations
+    — index into these), the dotted module path used for rule scoping,
+    and the parsed suppression comments.
+    """
+
+    def __init__(self, path: Path, source: str, module: str) -> None:
+        self.path = path
+        self.source = source
+        self.module = module
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions = _parse_suppressions(source)
+        self._by_line: dict[int, Suppression] = {}
+        for sup in self.suppressions:
+            self._by_line[sup.line] = sup
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppression_for(self, rule: str, line: int) -> Suppression | None:
+        """The suppression covering *rule* at *line*, if any.
+
+        Same-line comments win; a standalone comment on the line above
+        also covers *line* (so long statements can carry the comment
+        without blowing the line length).
+        """
+        sup = self._by_line.get(line)
+        if sup is not None and sup.covers(rule):
+            return sup
+        above = self._by_line.get(line - 1)
+        if above is not None and above.standalone and above.covers(rule):
+            return above
+        return None
+
+    def in_scope(self, scopes: tuple[str, ...]) -> bool:
+        """Whether this file's module falls under any of *scopes*.
+
+        Scopes are dotted module prefixes matched at package boundaries:
+        ``repro.core`` covers ``repro.core`` and ``repro.core.slrh`` but
+        not ``repro.coreutils``.  An empty scope tuple means "everywhere".
+        """
+        if not scopes:
+            return True
+        for scope in scopes:
+            if self.module == scope or self.module.startswith(scope + "."):
+                return True
+        return False
+
+
+@dataclass
+class ParentMap:
+    """Child → parent links for one AST (built lazily, cached per file)."""
+
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, tree: ast.AST) -> "ParentMap":
+        pm = cls()
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                pm.parents[child] = parent
+        return pm
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST):
+        cur = self.parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(cur)
+
+
+def module_path_for(path: Path) -> str:
+    """Dotted module path for *path*, anchored at the last ``repro``
+    directory component (``.../src/repro/core/slrh.py`` →
+    ``repro.core.slrh``).  Files outside a ``repro`` tree lint under
+    their bare stem, which only unscoped rules match."""
+    parts = list(path.with_suffix("").parts)
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            mod = parts[i:]
+            if mod[-1] == "__init__":
+                mod = mod[:-1]
+            return ".".join(mod)
+    return path.stem

@@ -1,0 +1,174 @@
+"""Determinism rules: the simulator's results are only reproducible because
+nothing on a scoring or planning path reads the wall clock, global RNG
+state, or unordered-set iteration order.
+
+Scoped to the four packages whose code can reach a mapping decision:
+``repro.core``, ``repro.sim``, ``repro.baselines``, ``repro.workload``.
+Measurement clocks (``time.perf_counter`` / ``time.monotonic``) are
+allowed — they time the heuristic, they never steer it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import collect_imports, resolved_call_target
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import register
+
+#: Packages whose code can influence mapping bytes.
+DETERMINISM_SCOPES = (
+    "repro.core",
+    "repro.sim",
+    "repro.baselines",
+    "repro.workload",
+)
+
+#: Wall-clock / entropy reads that poison byte-identical replay.
+_BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``datetime``-class constructors whose "now" family is banned wherever the
+#: class was imported from (``from datetime import datetime``).
+_BANNED_TAILS = frozenset({"datetime.now", "datetime.utcnow", "datetime.today", "date.today"})
+
+#: The one module allowed to touch RNG constructors directly.
+_SEEDING_MODULE = "repro.util.seeding"
+
+
+@register(
+    "no-wall-clock",
+    "determinism",
+    "scoring/planning code must not read the wall clock or OS entropy "
+    "(time.time, datetime.now, os.urandom, uuid1/4)",
+    scopes=DETERMINISM_SCOPES,
+)
+def no_wall_clock(ctx: FileContext) -> Iterator[Finding]:
+    origins = collect_imports(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolved_call_target(node, origins)
+        if target is None:
+            continue
+        if target in _BANNED_CALLS or any(
+            target == tail or target.endswith("." + tail) for tail in _BANNED_TAILS
+        ):
+            yield no_wall_clock.finding(
+                ctx,
+                node,
+                f"call to {target}() is nondeterministic across runs; "
+                "scheduling state must derive from the simulation clock",
+            )
+
+
+@register(
+    "no-global-random",
+    "determinism",
+    "RNG flows only through repro.util.seeding — no stdlib random, no "
+    "numpy global random state",
+    scopes=DETERMINISM_SCOPES,
+)
+def no_global_random(ctx: FileContext) -> Iterator[Finding]:
+    if ctx.module == _SEEDING_MODULE:
+        return
+    origins = collect_imports(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield no_global_random.finding(
+                        ctx,
+                        node,
+                        "import of stdlib 'random' — seed-threaded generators "
+                        "come from repro.util.seeding",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield no_global_random.finding(
+                    ctx,
+                    node,
+                    "import from stdlib 'random' — seed-threaded generators "
+                    "come from repro.util.seeding",
+                )
+        elif isinstance(node, ast.Call):
+            target = resolved_call_target(node, origins)
+            if target is None:
+                continue
+            if target.startswith("random."):
+                yield no_global_random.finding(
+                    ctx,
+                    node,
+                    f"call to {target}() uses the global RNG; take a "
+                    "Generator built by repro.util.seeding instead",
+                )
+            elif target.startswith("numpy.random."):
+                tail = target.rsplit(".", 1)[-1]
+                if tail not in ("Generator", "SeedSequence"):
+                    yield no_global_random.finding(
+                        ctx,
+                        node,
+                        f"call to {target}() touches numpy RNG construction/"
+                        "global state; route through repro.util.seeding "
+                        "(as_generator / spawn_generators)",
+                    )
+
+
+def _is_set_expr(node: ast.AST, origins: dict[str, str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset") and origins.get(node.func.id) is None:
+            return True
+    return False
+
+
+#: Conversions whose result order is the set's iteration order.
+_ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+
+@register(
+    "no-set-iteration",
+    "determinism",
+    "no direct iteration over set displays/constructors in ordering-"
+    "sensitive code — wrap in sorted(...)",
+    scopes=DETERMINISM_SCOPES,
+)
+def no_set_iteration(ctx: FileContext) -> Iterator[Finding]:
+    origins = collect_imports(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        iters: list[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if (
+                node.func.id in _ORDER_SENSITIVE_WRAPPERS
+                and origins.get(node.func.id) is None
+                and node.args
+            ):
+                iters.append(node.args[0])
+        for it in iters:
+            if _is_set_expr(it, origins):
+                yield no_set_iteration.finding(
+                    ctx,
+                    node,
+                    "iteration over a bare set has arbitrary order under "
+                    "PYTHONHASHSEED; use sorted(...) (or an order-insensitive "
+                    "reduction)",
+                )

@@ -1,0 +1,160 @@
+"""Lock-discipline rule: a lightweight static race detector for the
+service's dispatcher / handler / worker threads.
+
+Shared mutable state in :mod:`repro.service` is *declared* with a
+trailing annotation on its ``__init__`` assignment::
+
+    self._queue: deque[Job] = deque()  # guarded-by: _lock
+
+From then on, every ``self._queue`` access anywhere in the class must be
+provably under that lock, in one of three lexically checkable ways:
+
+* inside ``with self._lock:`` (any enclosing ``with`` whose context
+  expression is the declared lock);
+* in a method whose name ends in ``_locked`` — the repo's existing
+  convention for "caller holds the lock" helpers;
+* in a method annotated ``# requires-lock: _lock`` on (or directly
+  above) its ``def`` line — same contract, without the rename.
+
+``__init__`` itself is exempt (no other thread can hold a reference yet).
+Anything else is a finding: either a real race, or a deliberate unlocked
+access that must carry a justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.model import FileContext, Finding, ParentMap
+from repro.lint.registry import register
+
+LOCK_SCOPES = ("repro.service",)
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?:self\.)?([A-Za-z_][A-Za-z0-9_]*)")
+_REQUIRES_LOCK_RE = re.compile(r"#\s*requires-lock:\s*(?:self\.)?([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _comment_annotation(
+    ctx: FileContext, lineno: int, pattern: re.Pattern
+) -> str | None:
+    """Match *pattern* on the given line or a standalone comment above it."""
+    m = pattern.search(ctx.line_text(lineno))
+    if m:
+        return m.group(1)
+    above = ctx.line_text(lineno - 1).strip()
+    if above.startswith("#"):
+        m = pattern.search(above)
+        if m:
+            return m.group(1)
+    return None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _guarded_attrs(ctx: FileContext, cls: ast.ClassDef) -> dict[str, str]:
+    """attr name → lock attr name, from ``# guarded-by:`` annotations on
+    ``self.X = ...`` / ``self.X: T = ...`` assignments in ``__init__``."""
+    guarded: dict[str, str] = {}
+    for item in cls.body:
+        if not (isinstance(item, ast.FunctionDef) and item.name == "__init__"):
+            continue
+        for node in ast.walk(item):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                lock = _comment_annotation(ctx, node.lineno, _GUARDED_BY_RE)
+                if lock is not None:
+                    guarded[attr] = lock
+    return guarded
+
+
+def _under_lock(
+    node: ast.AST, lock: str, parents: ParentMap
+) -> bool:
+    """Whether *node* sits inside ``with self.<lock>:`` within its own
+    function (closures escape the lock and get no credit)."""
+    want = f"self.{lock}"
+    for parent in parents.ancestors(node):
+        if isinstance(parent, (ast.With, ast.AsyncWith)):
+            for item in parent.items:
+                try:
+                    if ast.unparse(item.context_expr) == want:
+                        return True
+                except Exception:  # pragma: no cover - exotic context expr
+                    continue
+        elif isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A closure/lambda may run after the with-block exits.
+            return False
+    return False
+
+
+def _method_holds_lock(
+    func: ast.FunctionDef | ast.AsyncFunctionDef | None,
+    lock: str,
+    ctx: FileContext,
+) -> bool:
+    if func is None:
+        return False
+    if func.name == "__init__":
+        return True
+    if func.name.endswith("_locked"):
+        return True
+    return _comment_annotation(ctx, func.lineno, _REQUIRES_LOCK_RE) == lock
+
+
+@register(
+    "lock-guarded-attr",
+    "lock-discipline",
+    "attributes declared '# guarded-by: <lock>' are only touched under "
+    "'with self.<lock>:' (or in a *_locked / '# requires-lock' method)",
+    scopes=LOCK_SCOPES,
+)
+def lock_guarded_attr(ctx: FileContext) -> Iterator[Finding]:
+    parents = ParentMap.of(ctx.tree)
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        guarded = _guarded_attrs(ctx, cls)
+        if not guarded:
+            continue
+        for node in ast.walk(cls):
+            attr = _self_attr(node)
+            if attr is None or attr not in guarded:
+                continue
+            lock = guarded[attr]
+            func: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+            for anc in parents.ancestors(node):
+                if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    func = anc
+                    break
+            if _method_holds_lock(func, lock, ctx):
+                continue
+            if _under_lock(node, lock, parents):
+                continue
+            where = func.name if func is not None else cls.name
+            yield lock_guarded_attr.finding(
+                ctx,
+                node,
+                f"self.{attr} is declared guarded-by {lock} but is touched "
+                f"in {where!r} outside 'with self.{lock}:'; lock it, mark "
+                f"the method '# requires-lock: {lock}', or suppress with a "
+                "justification",
+            )

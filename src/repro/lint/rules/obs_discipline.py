@@ -1,0 +1,175 @@
+"""Obs-discipline rules: observability in the mapping hot path is free
+when off — and stays free only if every call site keeps its guard.
+
+PR 3's contract: with nothing configured, instrumentation degrades to a
+single flag check (<2% overhead, gated by the A/B benchmark in
+``benchmarks/check_regression.py``).  The guards that make that true are
+conventions, enforced here for ``repro.core`` and ``repro.sim``:
+
+* an :class:`~repro.obs.log.EventLogger` call (``X.event`` / ``X.error``
+  where ``X`` was bound from :func:`repro.obs.log.get_logger`) must sit
+  behind an ``enabled()`` / ``.enabled`` check — the emitter re-checks
+  internally, but the kwargs dict it is handed is built *before* the
+  check, which is exactly the cost the budget forbids;
+* a ``.span(...)`` construction must be conditioned on ``tracer.enabled``
+  (the ``... if tracer.enabled else NULL_SPAN`` idiom or an enclosing
+  ``if``) — span objects and their kwargs must not be built on the
+  disabled path;
+* a decision-ledger call (``<x>ledger.reject`` / ``<x>ledger.note_tick``)
+  must sit behind ``<receiver> is not None`` (the ledger has no null
+  object by design: ``None`` *is* the disabled state).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import (
+    collect_imports,
+    dotted_name,
+    enabled_proxies,
+    guard_tests,
+    test_checks_enabled,
+    test_checks_not_none,
+)
+from repro.lint.model import FileContext, Finding, ParentMap
+from repro.lint.registry import register
+
+#: The packages whose hot paths carry the <2% disabled-obs budget.
+OBS_SCOPES = ("repro.core", "repro.sim")
+
+
+def _event_logger_names(tree: ast.Module) -> frozenset[str]:
+    """Module-level names bound from ``get_logger(...)``."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(node.value, ast.Call)
+                and dotted_name(node.value.func) in ("get_logger", "log.get_logger")
+            ):
+                names.add(target.id)
+    return frozenset(names)
+
+
+def _is_guarded_enabled(node: ast.AST, ctx_cache: dict, ctx: FileContext) -> bool:
+    parents: ParentMap = ctx_cache.setdefault("parents", ParentMap.of(ctx.tree))
+    proxies: frozenset[str] = ctx_cache.setdefault(
+        "proxies", enabled_proxies(ctx.tree)
+    )
+    return any(
+        test_checks_enabled(test, proxies) for test in guard_tests(node, parents)
+    )
+
+
+def _is_guarded_not_none(
+    node: ast.AST, receiver_text: str, ctx_cache: dict, ctx: FileContext
+) -> bool:
+    parents: ParentMap = ctx_cache.setdefault("parents", ParentMap.of(ctx.tree))
+    return any(
+        test_checks_not_none(test, receiver_text)
+        for test in guard_tests(node, parents)
+    )
+
+
+@register(
+    "obs-guarded-log",
+    "obs-discipline",
+    "EventLogger.event/.error call sites in core/sim sit behind an "
+    "enabled() guard (no kwargs built on the disabled path)",
+    scopes=OBS_SCOPES,
+)
+def obs_guarded_log(ctx: FileContext) -> Iterator[Finding]:
+    loggers = _event_logger_names(ctx.tree)
+    if not loggers:
+        return
+    cache: dict = {}
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in ("event", "error"):
+            continue
+        base = node.func.value
+        if not (isinstance(base, ast.Name) and base.id in loggers):
+            continue
+        if _is_guarded_enabled(node, cache, ctx):
+            continue
+        yield obs_guarded_log.finding(
+            ctx,
+            node,
+            f"unguarded {base.id}.{node.func.attr}(...) builds its fields "
+            "dict even when logging is off; wrap in "
+            "'if <obs.log.enabled()>:' to keep the disabled path free",
+        )
+
+
+@register(
+    "obs-guarded-span",
+    "obs-discipline",
+    "tracer.span(...) construction in core/sim is conditioned on "
+    "tracer.enabled (the '... if tracer.enabled else NULL_SPAN' idiom)",
+    scopes=OBS_SCOPES,
+)
+def obs_guarded_span(ctx: FileContext) -> Iterator[Finding]:
+    cache: dict = {}
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in ("span", "instant"):
+            continue
+        receiver = dotted_name(node.func.value)
+        if receiver is None:
+            continue
+        # Only tracer-shaped receivers: 'tracer', 'self.tracer',
+        # 'schedule.tracer' ... — anything whose last component mentions
+        # 'tracer'.  (repro.obs itself is out of scope here.)
+        if "tracer" not in receiver.split(".")[-1].lower():
+            continue
+        if _is_guarded_enabled(node, cache, ctx):
+            continue
+        yield obs_guarded_span.finding(
+            ctx,
+            node,
+            f"unguarded {receiver}.{node.func.attr}(...) allocates span "
+            "kwargs even when tracing is off; use "
+            f"'{receiver}.{node.func.attr}(...) if {receiver}.enabled "
+            "else NULL_SPAN'",
+        )
+
+
+@register(
+    "obs-guarded-ledger",
+    "obs-discipline",
+    "decision-ledger calls in core/sim sit behind '<ledger> is not None' "
+    "(None is the disabled state; there is no null ledger object)",
+    scopes=OBS_SCOPES,
+)
+def obs_guarded_ledger(ctx: FileContext) -> Iterator[Finding]:
+    origins = collect_imports(ctx.tree)
+    cache: dict = {}
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in ("reject", "note_tick"):
+            continue
+        receiver = dotted_name(node.func.value)
+        if receiver is None:
+            continue
+        # Decision-ledger receivers end in 'ledger' ('ledger',
+        # 'trace.ledger', 'self.ledger'); the energy ledger is accessed
+        # through differently named attributes and has no reject().
+        if not receiver.split(".")[-1].lower().endswith("ledger"):
+            continue
+        if origins.get(receiver.split(".")[0], "").startswith("repro.grid"):
+            continue
+        if _is_guarded_not_none(node, receiver, cache, ctx):
+            continue
+        yield obs_guarded_ledger.finding(
+            ctx,
+            node,
+            f"unguarded {receiver}.{node.func.attr}(...); the disabled "
+            f"ledger is None — guard with 'if {receiver} is not None:'",
+        )

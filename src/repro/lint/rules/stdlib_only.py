@@ -1,0 +1,87 @@
+"""Import-whitelist rules: the runtime depends on nothing the container
+doesn't already have.
+
+Two tiers:
+
+* ``import-whitelist`` (all of ``src/repro``) — imports must be stdlib,
+  first-party (``repro.*``), or one of the three dependencies declared in
+  ``pyproject.toml`` (numpy, scipy, networkx).  Catches a stray
+  ``import pandas`` before it breaks a deploy.
+* ``stdlib-only-layer`` (``repro.obs``, ``repro.service``, ``repro.perf``,
+  ``repro.lint``) — **no third-party imports at all**: the daemon and its
+  observability surface deploy as "copy the tree, run python -m
+  repro.service"; first-party imports are fine (scenario deserialisation
+  pulls numpy indirectly, but the layer itself must stay importable
+  without it for tooling like this linter).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from typing import Iterator
+
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import register
+
+#: Third-party packages declared in pyproject.toml [project.dependencies].
+DECLARED_DEPS = frozenset({"numpy", "scipy", "networkx"})
+
+#: The layers that must import nothing outside the stdlib + repro.
+STDLIB_ONLY_SCOPES = ("repro.obs", "repro.service", "repro.perf", "repro.lint")
+
+_STDLIB = frozenset(sys.stdlib_module_names)
+
+
+def _imported_roots(node: ast.AST) -> list[tuple[str, ast.AST]]:
+    """Top-level package names imported by *node* (empty for relative)."""
+    if isinstance(node, ast.Import):
+        return [(alias.name.split(".")[0], node) for alias in node.names]
+    if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+        return [(node.module.split(".")[0], node)]
+    return []
+
+
+def _walk_imports(tree: ast.Module) -> Iterator[tuple[str, ast.AST]]:
+    for node in ast.walk(tree):
+        yield from _imported_roots(node)
+
+
+@register(
+    "import-whitelist",
+    "stdlib-only",
+    "src/repro imports only the stdlib, repro itself, and the declared "
+    "dependencies (numpy, scipy, networkx)",
+    scopes=("repro",),
+)
+def import_whitelist(ctx: FileContext) -> Iterator[Finding]:
+    for root, node in _walk_imports(ctx.tree):
+        if root in _STDLIB or root == "repro" or root in DECLARED_DEPS:
+            continue
+        yield import_whitelist.finding(
+            ctx,
+            node,
+            f"import of {root!r} is neither stdlib, first-party, nor a "
+            "declared dependency (numpy/scipy/networkx); the runtime must "
+            "not grow undeclared requirements",
+        )
+
+
+@register(
+    "stdlib-only-layer",
+    "stdlib-only",
+    "the service/obs/perf/lint layer imports only the stdlib and repro "
+    "(zero-dependency deploy story)",
+    scopes=STDLIB_ONLY_SCOPES,
+)
+def stdlib_only_layer(ctx: FileContext) -> Iterator[Finding]:
+    for root, node in _walk_imports(ctx.tree):
+        if root in _STDLIB or root == "repro":
+            continue
+        yield stdlib_only_layer.finding(
+            ctx,
+            node,
+            f"import of {root!r} in the stdlib-only layer ({ctx.module}); "
+            "the service and its tooling deploy with no third-party "
+            "packages at all",
+        )

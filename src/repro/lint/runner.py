@@ -1,0 +1,163 @@
+"""File walking, rule dispatch, suppression handling, and report output."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.model import FileContext, Finding, module_path_for
+from repro.lint.registry import Rule, all_rules, get_rule
+
+#: JSON report schema identifier (versioned like the perf schemas).
+SCHEMA = "repro.lint/1"
+
+#: Pseudo-rule id for suppressions missing the mandatory justification.
+UNJUSTIFIED = "suppression-needs-justification"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.unsuppressed:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under *paths* (files pass through; directories
+    are walked recursively, skipping caches), sorted for determinism."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if "__pycache__" in sub.parts:
+                    continue
+                out.add(sub)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def lint_file(
+    path: Path,
+    rules: list[Rule] | None = None,
+    module: str | None = None,
+) -> list[Finding]:
+    """Lint one file; returns every finding (suppressed ones flagged).
+
+    *module* overrides the inferred dotted module path (tests use this to
+    pin fixture files to arbitrary scopes).
+    """
+    source = path.read_text(encoding="utf-8")
+    ctx = FileContext(
+        path, source, module if module is not None else module_path_for(path)
+    )
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            sup = ctx.suppression_for(finding.rule, finding.line)
+            if sup is not None:
+                findings.append(
+                    Finding(
+                        rule=finding.rule,
+                        path=finding.path,
+                        line=finding.line,
+                        col=finding.col,
+                        message=finding.message,
+                        suppressed=sup.reason is not None,
+                        justification=sup.reason,
+                    )
+                )
+            else:
+                findings.append(finding)
+    # A suppression must carry "-- justification"; one without it is a
+    # finding at the comment's own line (never maskable by itself).
+    for sup in ctx.suppressions:
+        if sup.reason is None:
+            findings.append(
+                Finding(
+                    rule=UNJUSTIFIED,
+                    path=str(path),
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        "suppression comment lacks a justification; write "
+                        "'# repro-lint: disable=<rule> -- <why this is safe>'"
+                    ),
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: list[str | Path],
+    rule_ids: list[str] | None = None,
+) -> LintReport:
+    """Lint every Python file under *paths* with the selected rules."""
+    selected = (
+        [get_rule(rid) for rid in rule_ids] if rule_ids else all_rules()
+    )
+    report = LintReport(rules_run=tuple(r.id for r in selected))
+    for path in iter_python_files([Path(p) for p in paths]):
+        report.files_checked += 1
+        report.findings.extend(lint_file(path, selected))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable report (one finding per line, clickable locations)."""
+    lines: list[str] = []
+    for f in report.unsuppressed:
+        lines.append(f"{f.path}:{f.line}:{f.col + 1}: [{f.rule}] {f.message}")
+    if verbose:
+        for f in report.suppressed:
+            lines.append(
+                f"{f.path}:{f.line}:{f.col + 1}: [{f.rule}] suppressed "
+                f"({f.justification})"
+            )
+    n_bad = len(report.unsuppressed)
+    lines.append(
+        f"{report.files_checked} file(s) checked, "
+        f"{n_bad} finding(s), {len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-readable report (schema ``repro.lint/1``)."""
+    doc = {
+        "schema": SCHEMA,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "rules_run": list(report.rules_run),
+        "counts": report.counts_by_rule(),
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

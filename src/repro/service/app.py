@@ -63,7 +63,13 @@ _LOG = get_logger("service.http")
 
 
 class ServiceServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the service state."""
+    """ThreadingHTTPServer carrying the service state.
+
+    No ``# guarded-by:`` annotations here on purpose: every attribute is
+    written once before ``serve_forever`` and read-only afterwards, and
+    all cross-thread mutable state lives behind the manager's and
+    registry's own locks.  Handlers hold only per-connection state.
+    """
 
     daemon_threads = True
     allow_reuse_address = True

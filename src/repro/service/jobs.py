@@ -132,17 +132,17 @@ class JobManager:
             raise ValueError("batch_max must be >= 1")
         self.max_jobs_kept = max_jobs_kept
         self.perf = PerfCounters()
-        self._queue: deque[Job] = deque()
-        self._jobs: dict[str, Job] = {}
-        self._job_order: deque[str] = deque()
-        self._inflight = 0
-        self._draining = False
-        self._stopped = False
+        self._queue: deque[Job] = deque()  # guarded-by: _lock
+        self._jobs: dict[str, Job] = {}  # guarded-by: _lock
+        self._job_order: deque[str] = deque()  # guarded-by: _lock
+        self._inflight = 0  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
+        self._stopped = False  # guarded-by: _lock
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
-        self._ids = itertools.count(1)
-        self._dispatcher: threading.Thread | None = None
+        self._ids = itertools.count(1)  # guarded-by: _lock
+        self._dispatcher: threading.Thread | None = None  # guarded-by: _lock
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -171,7 +171,7 @@ class JobManager:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             self._draining = True
-            self._update_gauges()
+            self._update_gauges_locked()
             self._wake.notify_all()
             while self._queue or self._inflight:
                 remaining = None
@@ -191,8 +191,11 @@ class JobManager:
                 return
             self._stopped = True
             self._wake.notify_all()
-        if self._dispatcher is not None:
-            self._dispatcher.join(timeout=10)
+            dispatcher = self._dispatcher
+        # Join outside the lock: the dispatcher needs it to observe
+        # _stopped and exit.
+        if dispatcher is not None:
+            dispatcher.join(timeout=10)
         self.pool.shutdown()
 
     # -- admission ---------------------------------------------------------
@@ -250,7 +253,7 @@ class JobManager:
                 heuristic=canonical,
                 queue_depth=len(self._queue),
             )
-            self._update_gauges()
+            self._update_gauges_locked()
             self._wake.notify_all()
         return job
 
@@ -293,7 +296,7 @@ class JobManager:
 
     # -- dispatch ----------------------------------------------------------
 
-    def _update_gauges(self) -> None:
+    def _update_gauges_locked(self) -> None:
         self.perf.set_gauge("service.queue_depth", float(len(self._queue)))
         self.perf.set_gauge("service.inflight", float(self._inflight))
         self.perf.set_gauge("service.draining", 1.0 if self._draining else 0.0)
@@ -320,11 +323,11 @@ class JobManager:
                     job.state = "running"
                     job.started_at = now
                 self._inflight = len(batch)
-                self._update_gauges()
+                self._update_gauges_locked()
             self._run_batch(batch)
             with self._lock:
                 self._inflight = 0
-                self._update_gauges()
+                self._update_gauges_locked()
                 self._idle.notify_all()
 
     def _run_batch(self, batch: list[Job]) -> None:
@@ -385,7 +388,7 @@ class JobManager:
         from repro.perf import perf_document
 
         with self._lock:
-            self._update_gauges()
+            self._update_gauges_locked()
         registry_perf = self.registry.perf
         counters = PerfCounters(self.perf.snapshot()).merge(
             registry_perf.snapshot()

@@ -35,8 +35,8 @@ class ScenarioRegistry:
         self.max_cached = max_cached
         self.perf = perf if perf is not None else PerfCounters()
         self._lock = threading.Lock()
-        self._docs: dict[str, dict] = {}
-        self._cache: OrderedDict[str, Scenario] = OrderedDict()
+        self._docs: dict[str, dict] = {}  # guarded-by: _lock
+        self._cache: OrderedDict[str, Scenario] = OrderedDict()  # guarded-by: _lock
 
     def put(self, doc: dict) -> tuple[str, bool]:
         """Register *doc*; returns ``(scenario_id, created)``.
@@ -50,18 +50,18 @@ class ScenarioRegistry:
         with self._lock:
             if scenario_id in self._docs:
                 self.perf.inc("registry.put_dup")
-                self._update_gauges()
+                self._update_gauges_locked()
                 return scenario_id, False
         scenario = scenario_from_dict(doc)  # outside the lock: may be slow
         with self._lock:
             created = scenario_id not in self._docs
             if created:
                 self._docs[scenario_id] = doc
-                self._cache_store(scenario_id, scenario)
+                self._cache_store_locked(scenario_id, scenario)
                 self.perf.inc("registry.put")
             else:
                 self.perf.inc("registry.put_dup")
-            self._update_gauges()
+            self._update_gauges_locked()
         return scenario_id, created
 
     def get_doc(self, scenario_id: str) -> dict:
@@ -81,17 +81,17 @@ class ScenarioRegistry:
             self.perf.inc("registry.cache_miss")
         scenario = scenario_from_dict(doc)
         with self._lock:
-            self._cache_store(scenario_id, scenario)
-            self._update_gauges()
+            self._cache_store_locked(scenario_id, scenario)
+            self._update_gauges_locked()
         return scenario
 
-    def _cache_store(self, scenario_id: str, scenario: Scenario) -> None:
+    def _cache_store_locked(self, scenario_id: str, scenario: Scenario) -> None:
         self._cache[scenario_id] = scenario
         self._cache.move_to_end(scenario_id)
         while len(self._cache) > self.max_cached:
             self._cache.popitem(last=False)
 
-    def _update_gauges(self) -> None:
+    def _update_gauges_locked(self) -> None:
         self.perf.set_gauge("registry.scenarios", float(len(self._docs)))
         self.perf.set_gauge("registry.cached", float(len(self._cache)))
 

@@ -23,6 +23,10 @@ from repro.sim.trace import MappingTrace
 from repro.workload.scenario import Scenario
 
 _CACHE_MAX = 8
+# Deliberately lock-free (no '# guarded-by:'): this module-level cache is
+# per-process state.  Each pool worker is a separate process, and in the
+# --jobs 1 path execute_mapping runs only on the single dispatcher thread,
+# so no two threads ever share this dict.
 _scenarios: OrderedDict[str, Scenario] = OrderedDict()
 
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.obs.log import enabled as _obs_enabled
 from repro.obs.log import get_logger
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.schedule import Assignment, ExecutionPlan, Schedule
@@ -114,13 +115,14 @@ def execute_schedule(schedule: Schedule) -> ExecutionLog:
             finished.add(a.task)
             log.busy_seconds[a.machine] = log.busy_seconds.get(a.machine, 0.0) + a.duration
             log.makespan = max(log.makespan, a.finish)
-    _LOG.event(
-        "engine.replayed",
-        scenario=schedule.scenario.name,
-        events=len(log.events),
-        tasks=len(finished),
-        makespan=log.makespan,
-    )
+    if _obs_enabled():
+        _LOG.event(
+            "engine.replayed",
+            scenario=schedule.scenario.name,
+            events=len(log.events),
+            tasks=len(finished),
+            makespan=log.makespan,
+        )
     return log
 
 

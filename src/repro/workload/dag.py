@@ -17,10 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.util.seeding import SeedLike, as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    import networkx
 
 
 @dataclass(frozen=True)
@@ -149,7 +153,7 @@ class TaskGraph:
         """All (parent, child) pairs."""
         return [(u, v) for u in range(self.n_tasks) for v in self.children[u]]
 
-    def to_networkx(self):
+    def to_networkx(self) -> "networkx.DiGraph":
         """Export as a :class:`networkx.DiGraph` (for analysis/plotting)."""
         import networkx as nx
 

@@ -94,7 +94,12 @@ class EtcSpec:
             raise ValueError("low_speedup_range must satisfy 1 <= lo <= hi")
 
 
-def _gamma(rng: np.random.Generator, mean, cv: float, size=None) -> np.ndarray:
+def _gamma(
+    rng: np.random.Generator,
+    mean: float | np.ndarray,
+    cv: float,
+    size: int | tuple[int, ...] | None = None,
+) -> np.ndarray:
     """Draw Gamma variates with the given *mean* and coefficient of variation.
 
     shape k = 1/cv², scale θ = mean·cv² gives E = kθ = mean and

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import cached_property
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -124,7 +125,7 @@ class Scenario:
             return 0.0
         return self.release_times[task]
 
-    def with_release_times(self, release_times) -> "Scenario":
+    def with_release_times(self, release_times: np.ndarray | None) -> "Scenario":
         """A copy of this scenario with per-task arrival times attached."""
         return Scenario(
             grid=self.grid,
@@ -277,7 +278,7 @@ class ScenarioSuite:
             name=f"etc{etc_idx}-dag{dag_idx}-case{case}",
         )
 
-    def scenarios(self, case: str = "A"):
+    def scenarios(self, case: str = "A") -> Iterator[Scenario]:
         """Iterate all ETC × DAG scenarios for one case."""
         for e in range(self.n_etc):
             for d in range(self.n_dag):
@@ -300,7 +301,7 @@ def generate_scenario_suite(
 PAPER_N_TASKS: int = 1024
 
 
-def paper_scaled_spec(n_tasks: int, **overrides) -> ScenarioSpec:
+def paper_scaled_spec(n_tasks: int, **overrides: Any) -> ScenarioSpec:
     """A :class:`ScenarioSpec` that shrinks the paper's study to *n_tasks*.
 
     Pure-Python mapping at |T| = 1024 costs minutes-to-hours per run (the
@@ -337,7 +338,7 @@ def paper_scaled_suite(
     n_etc: int = 10,
     n_dag: int = 10,
     seed: SeedLike = 0,
-    **spec_overrides,
+    **spec_overrides: Any,
 ) -> ScenarioSuite:
     """A :class:`ScenarioSuite` under the proportional-shrink protocol."""
     return ScenarioSuite(

@@ -1,0 +1,13 @@
+"""Fixture: wall-clock reads are fine OUTSIDE the determinism scopes.
+
+This module path (repro.analysis.*) is not in repro.core / repro.sim /
+repro.baselines / repro.workload, so the determinism rules skip it; only
+the repo-wide rules (imports, hygiene) apply — and it is clean for those.
+"""
+
+import time
+from datetime import datetime
+
+
+def report_stamp():
+    return time.time(), datetime.now()

@@ -1,0 +1,27 @@
+"""Fixture: every determinism rule fires.  Never imported — AST only."""
+
+import random
+import time
+import uuid
+from datetime import datetime
+
+import numpy as np
+
+
+def wall_clock_reads():
+    a = time.time()  # no-wall-clock
+    b = datetime.now()  # no-wall-clock
+    c = uuid.uuid4()  # no-wall-clock
+    return a, b, c
+
+
+def global_rng():
+    x = random.random()  # no-global-random (call; import also fires)
+    y = np.random.rand(3)  # no-global-random
+    return x, y
+
+
+def set_order(items):
+    for item in {3, 1, 2}:  # no-set-iteration
+        print(item)
+    return [x for x in set(items)]  # no-set-iteration

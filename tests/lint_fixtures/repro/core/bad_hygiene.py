@@ -1,0 +1,19 @@
+"""Fixture: every api-hygiene rule fires.  Never imported — AST only."""
+
+
+def mutable_default(items=[], mapping={}):  # no-mutable-default (x2)
+    items.append(1)
+    mapping["k"] = 1
+    return items, mapping
+
+
+def swallow():
+    try:
+        return 1 / 0
+    except:  # no-bare-except
+        return None
+
+
+def validate(n):
+    assert n > 0, "n must be positive"  # no-assert
+    return n

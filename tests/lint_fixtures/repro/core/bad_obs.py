@@ -1,0 +1,19 @@
+"""Fixture: every obs-discipline rule fires.  Never imported — AST only."""
+
+from repro.obs.log import get_logger
+
+_LOG = get_logger("fixture")
+
+
+def unguarded_log(n):
+    _LOG.event("fixture.ran", count=n)  # obs-guarded-log
+
+
+def unguarded_span(tracer, name):
+    with tracer.span("map", scenario=name):  # obs-guarded-span
+        return 1
+
+
+def unguarded_ledger(ledger, task):
+    ledger.reject(task, 0, "why")  # obs-guarded-ledger
+    ledger.note_tick()  # obs-guarded-ledger

@@ -1,0 +1,23 @@
+"""Fixture: determinism-clean equivalents of bad_determinism.py."""
+
+import time
+
+from repro.util.seeding import as_generator
+
+
+def measurement_clock():
+    # perf_counter/monotonic time the heuristic, they never steer it.
+    started = time.perf_counter()
+    return time.perf_counter() - started, time.monotonic()
+
+
+def seeded_rng(seed):
+    rng = as_generator(seed)  # all RNG flows through repro.util.seeding
+    return rng.random()
+
+
+def ordered_sets(items):
+    for item in sorted({3, 1, 2}):  # sorted() makes the order deterministic
+        print(item)
+    total = sum(sorted(set(items)))  # sorted() is the blessed set consumer
+    return total

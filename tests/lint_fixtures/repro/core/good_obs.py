@@ -1,0 +1,35 @@
+"""Fixture: the repo's blessed obs guard idioms — zero findings."""
+
+from repro.obs.log import enabled as _obs_enabled
+from repro.obs.log import get_logger
+from repro.obs.spans import NULL_SPAN
+
+_LOG = get_logger("fixture")
+
+
+def guarded_log(n):
+    if _obs_enabled():
+        _LOG.event("fixture.ran", count=n)
+
+
+def guarded_span_ternary(tracer, name):
+    span = tracer.span("map", scenario=name) if tracer.enabled else NULL_SPAN
+    with span:
+        return 1
+
+
+def guarded_span_proxy(tracer, pool):
+    tracing = tracer.enabled
+    for entry in pool:
+        if tracing:
+            tracer.instant("pool.entry", task=entry)
+
+
+def guarded_ledger(ledger, task):
+    if ledger is not None:
+        ledger.reject(task, 0, "why")
+
+
+def guarded_ledger_compound(trace, task):
+    if trace.ledger is not None and task > 0:
+        trace.ledger.note_tick()

@@ -1,0 +1,23 @@
+"""Fixture: suppression comment handling.
+
+Three cases: a same-line justified suppression (finding kept with
+suppressed=True), a standalone justified suppression covering the next
+line, and a suppression with NO justification — there the underlying
+finding stays unsuppressed AND the comment itself becomes a
+suppression-needs-justification finding.
+"""
+
+
+def justified_same_line(n):
+    assert n > 0  # repro-lint: disable=no-assert -- fixture: exercising same-line suppression
+    return n
+
+
+def justified_standalone(items):
+    # repro-lint: disable=no-set-iteration -- fixture: order irrelevant, max() is commutative
+    return max(x for x in set(items))
+
+
+def unjustified(n):
+    assert n < 10  # repro-lint: disable=no-assert
+    return n

@@ -1,0 +1,12 @@
+"""Fixture: import rules fire in the stdlib-only service layer."""
+
+import json  # stdlib: fine everywhere
+
+import numpy  # stdlib-only-layer (declared dep, but not allowed in service)
+import pandas  # import-whitelist AND stdlib-only-layer (undeclared)
+
+from repro.perf import PerfCounters  # first-party: fine
+
+
+def use_them():
+    return json, numpy, pandas, PerfCounters

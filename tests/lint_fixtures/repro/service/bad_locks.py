@@ -1,0 +1,33 @@
+"""Fixture: lock-discipline positives and negatives in one class."""
+
+import threading
+
+
+class Manager:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = []  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._name = "m"  # unannotated: never checked
+
+    def locked_ok(self):
+        with self._lock:
+            self._queue.append(1)  # fine: under the declared lock
+
+    def helper_ok_locked(self):
+        self._queue.append(2)  # fine: *_locked naming convention
+
+    # requires-lock: _lock
+    def annotated_ok(self):
+        return len(self._queue)  # fine: requires-lock annotation
+
+    def racy(self):
+        self._count += 1  # lock-guarded-attr
+        return self._queue  # lock-guarded-attr
+
+    def closure_escapes(self):
+        with self._lock:
+            return lambda: self._count  # lock-guarded-attr (runs later)
+
+    def unannotated_ok(self):
+        return self._name  # fine: attribute not declared guarded
