@@ -20,6 +20,12 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+# repro.core first: its __init__ must be on the import stack (partially
+# initialised is enough) before any repro.sim module runs, so that
+# ``from repro.core.constants import EPSILON`` inside repro.sim.schedule
+# resolves the leaf submodule without re-entering repro.core.__init__.
+import repro.core  # noqa: F401  (re-imported with names below)
+
 from repro.analysis import (
     compute_stats,
     critical_chain,

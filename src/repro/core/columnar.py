@@ -1,0 +1,925 @@
+"""Flat-array candidate pools: the kernel's columnar hot path.
+
+:class:`ColumnarPool` maintains exactly the state of
+:class:`repro.core.kernel.CandidatePool` — one delta-maintained pool slot
+per (machine, task) with the same cleanliness certificates — but stores it
+in parallel ``array`` columns indexed by integer ids instead of per-entry
+Python objects.  The per-tick scan then runs on index arithmetic:
+
+* slot lookup is ``machine * n_tasks + task`` into flat columns (kind,
+  generation, parent-epoch, planning clock, data-ready, comm floor,
+  score, score token) — no dict probe, no attribute chase;
+* touch-stamp certificates live in a CSR block (per-task offsets into a
+  dependency-id/stamp column pair), so "nothing my plans read has moved"
+  is a short loop over two arrays;
+* re-scoring after a commit reads per-version fact columns (feasibility,
+  energy margin — the plan's TEC delta — and finish time) and inlines the
+  objective arithmetic of :meth:`ObjectiveFunction.after_plan` verbatim:
+  the same float operations in the same order, so scores are
+  bit-identical to the object path's;
+* candidate ordering is one stable descending sort over the score column.
+  Members are gathered in ascending task order and CPython's sort is
+  stable under ``reverse=True`` (equal keys keep their original order),
+  so the result is exactly the object pools' ``(-score, task)`` order.
+
+The *dirty* path — entries whose certificates fail — is a **fused
+replan**: the same decisions as ``Schedule._plan_pair`` +
+:func:`repro.core.pool.select_candidate`, open-coded without the wrapper
+layers.  It makes the identical plan-cache probes (``_comm_entry_valid``
+→ ``_shift_comms`` → ``_plan_comms_floor``) so the channel-slot reuse
+discipline is byte-for-byte the object path's, then finishes the pair in
+flat arithmetic:
+
+* machine budgets, the rule-(b) gate, the offline set and the execution
+  calendar tail are hoisted once per build — nothing mutates during a
+  build, so per-replan ``available_energy`` / ``earliest_gap`` calls
+  collapse to float compares (append-only placement at a fixed tail is
+  ``max(data_ready, tail)`` by construction);
+* both versions are scored inline (the same ``after_plan`` operations in
+  the same order), and only the *winning* version's
+  :class:`~repro.sim.schedule.ExecutionPlan` is materialised — the loser
+  exists as column facts and is rebuilt on demand if a later aggregate
+  shift flips the selection;
+* the plan-cache writeback stores the same comm facts the generic path
+  would (so incremental-mode code and the SLRH-2 stale-pool walk reuse
+  them), with ``entry.pair = None`` — the pair layer is superseded by the
+  columns.
+
+Columnar mode therefore re-plans exactly the same entries as incremental
+mode; the ``pool.reuse_hits`` / ``pool.invalidations`` / ``pool.members``
+counters are identical across the two (pinned by the differential fuzz in
+``tests/test_kernel.py``), and the speedup is pure constant factor — on
+the clean path, inside every replan, and in the kernel's stall-tick
+fast-forward — never fewer or different replans.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+
+from repro.core.constants import EPSILON
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.objective import ObjectiveFunction
+from repro.core.pool import Candidate
+from repro.obs.spans import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
+
+# The fused replan is a twin of Schedule._plan_pair: it shares the plan
+# cache (same entry type, same validity helpers) rather than growing a
+# second, subtly different one.
+from repro.sim.schedule import ExecutionPlan, Schedule, _PlanCacheEntry
+from repro.workload.versions import Version
+
+__all__ = ["ColumnarPool"]
+
+_PRIMARY = Version.PRIMARY
+_SECONDARY = Version.SECONDARY
+#: The energy-budget comparison scale of Schedule._demand_shortfall /
+#: FeasibilityChecker.is_feasible — hoisted so the fused loop keeps the
+#: exact generic arithmetic.
+_BUDGET_SLACK = 1 + 1e-12
+
+# Slot kinds: the kernel's pool-entry states plus "never written".
+_EMPTY, _CANDIDATE, _NO_VERSION, _RULE_B = -1, 0, 1, 2
+
+#: aet_mode -> branch index for the inline scorer (see ObjectiveFunction).
+_AET_TENT, _AET_CLAMP, _AET_RAW, _AET_NEGATIVE = 0, 1, 2, 3
+_AET_MODES = {
+    "tent": _AET_TENT,
+    "clamp": _AET_CLAMP,
+    "raw": _AET_RAW,
+    "negative": _AET_NEGATIVE,
+}
+
+
+class ColumnarPool:
+    """Columnar drop-in for :class:`repro.core.kernel.CandidatePool`.
+
+    Same contract: :meth:`pool_for` materialises the ordered pool U plus
+    the earliest unreleased-task release time, the owner reports commits
+    via :meth:`note_commit` and calls :meth:`invalidate_all` after any
+    other mutation.  Mappings and pool counters are byte-identical to the
+    object pools in every mode.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        checker: FeasibilityChecker,
+        objective: ObjectiveFunction,
+    ) -> None:
+        self.schedule = schedule
+        self.checker = checker
+        self.objective = objective
+        scenario = schedule.scenario
+        n_machines = scenario.n_machines
+        n_tasks = scenario.n_tasks
+        self._n_machines = n_machines
+        self._n_tasks = n_tasks
+        size = n_machines * n_tasks
+        # Slot columns, indexed machine * n_tasks + task.
+        self._kind = array("b", [_EMPTY]) * size
+        self._slot_gen = array("q", [0]) * size
+        self._epoch = array("q", [0]) * size
+        self._nb = array("d", [0.0]) * size
+        self._ready_at = array("d", [0.0]) * size  # pair data-ready floor
+        self._comm_floor = array("d", [0.0]) * size  # min planned-comm start
+        self._score = array("d", [0.0]) * size
+        self._token_col = array("q", [0]) * size
+        # Per-version score facts: feasibility, energy margin (the plan's
+        # TEC delta) and finish time — everything after_plan reads.
+        self._feas0 = array("b", [0]) * size
+        self._feas1 = array("b", [0]) * size
+        self._energy0 = array("d", [0.0]) * size
+        self._energy1 = array("d", [0.0]) * size
+        self._finish0 = array("d", [0.0]) * size
+        self._finish1 = array("d", [0.0]) * size
+        self._start0 = array("d", [0.0]) * size
+        self._start1 = array("d", [0.0]) * size
+        # Touch-stamp certificates in CSR form: task t's dependency ids
+        # and stamps live at [dep_off[t], dep_off[t] + |parents(t)| + 1)
+        # within each machine's block of _dep_span entries.
+        parents = scenario.dag.parents
+        offs = array("l", [0]) * n_tasks
+        total = 0
+        for t in range(n_tasks):
+            offs[t] = total
+            total += len(parents[t]) + 1
+        self._dep_off = offs
+        self._dep_span = total
+        self._dep_ids = array("i", [0]) * (n_machines * total)
+        self._dep_stamps = array("q", [0]) * (n_machines * total)
+        self._dep_n = array("i", [0]) * size
+        # Per-machine event counters (see CandidatePool._touch).
+        self._touch = array("q", [0]) * n_machines
+        # Release-time column: static scenario facts, hoisted once.
+        self._release = array(
+            "d", [scenario.release(t) for t in range(n_tasks)]
+        )
+        # Lazily-materialised plan payloads per slot: ``[primary_plan |
+        # None, secondary_plan | None, comms]``.  The fused replan builds
+        # only the winning version's ExecutionPlan; the loser is rebuilt
+        # from the columns iff an aggregate shift later flips the
+        # selection.
+        self._pairs: list[list | None] = [None] * size
+        self._cands: list[Candidate | None] = [None] * size
+        # Static per-slot facts, filled lazily from the schedule/checker
+        # memos they mirror (ETC, versions and data sizes never change for
+        # a pool's lifetime): exec (duration, energy) pairs, the rule-(b)
+        # secondary required energy, and the per-version worst-case
+        # outgoing reserves — probed by index instead of tuple-keyed dicts.
+        self._facts: list[tuple | None] = [None] * size
+        self._req1: list[float | None] = [None] * size
+        self._wc: list[tuple | None] = [None] * size
+        # Generation stamp: invalidate_all bumps it instead of clearing
+        # every column (slots stamped with an older generation are dead).
+        self._gen = 1
+        self._agg: tuple[int, float, float] | None = None
+        self._token = 0
+
+    def invalidate_all(self) -> None:
+        """Drop every slot — the big hammer for events without a precise
+        delta (churn offline/online, rollbacks, external debits)."""
+        self._gen += 1
+        self._agg = None
+
+    def note_commit(self, plan: ExecutionPlan) -> None:
+        """Record a commit's footprint: bump the touch counter of every
+        machine it mutated and retire the committed task's slots."""
+        schedule = self.schedule
+        touched = {plan.machine}
+        for p in schedule.scenario.dag.parents[plan.task]:
+            touched.add(schedule.assignments[p].machine)
+        touch = self._touch
+        for j in touched:
+            touch[j] += 1
+        kind = self._kind
+        pairs = self._pairs
+        cands = self._cands
+        task = plan.task
+        n_tasks = self._n_tasks
+        for m in range(self._n_machines):
+            idx = m * n_tasks + task
+            kind[idx] = _EMPTY
+            pairs[idx] = None
+            cands[idx] = None
+
+    def pool_for(
+        self, machine: int, not_before: float, tracer: Tracer | NullTracer = NULL_TRACER
+    ) -> tuple[list[Candidate], float | None]:
+        """The ordered pool U for *machine* at *not_before*, plus the
+        earliest release time among ready-but-unreleased tasks (``None``
+        when there is none) — the kernel's wake-up hint."""
+        schedule = self.schedule
+        perf = schedule.perf
+        agg = schedule.aggregate_state()
+        if agg != self._agg:
+            self._agg = agg
+            self._token += 1
+        token = self._token
+        gen = self._gen
+        n_tasks = self._n_tasks
+        base = machine * n_tasks
+        dep_base = machine * self._dep_span
+        kind = self._kind
+        slot_gen = self._slot_gen
+        epoch_col = self._epoch
+        nb_col = self._nb
+        ready_col = self._ready_at
+        comm_col = self._comm_floor
+        score_col = self._score
+        token_col = self._token_col
+        feas0 = self._feas0
+        feas1 = self._feas1
+        energy0 = self._energy0
+        energy1 = self._energy1
+        finish0 = self._finish0
+        finish1 = self._finish1
+        start0 = self._start0
+        start1 = self._start1
+        dep_off = self._dep_off
+        dep_ids = self._dep_ids
+        dep_stamps = self._dep_stamps
+        dep_n = self._dep_n
+        touch = self._touch
+        release = self._release
+        pairs = self._pairs
+        cands = self._cands
+        epochs = schedule.parent_epochs()
+        assignments = schedule.assignments
+        parents = schedule.scenario.dag.parents
+        objective = self.objective
+        checker = self.checker
+        # Hoisted objective constants for the inline re-score: the exact
+        # operands of ObjectiveFunction.value / after_plan.
+        weights = objective.weights
+        alpha = weights.alpha
+        beta = weights.beta
+        gamma = weights.gamma
+        obj_n = objective.n_tasks
+        tse = objective.total_system_energy
+        tau = objective.tau
+        aet_mode = _AET_MODES[objective.aet_mode]
+        t100_base, tec_base, aet_base = agg
+        # The T100 term of each score is a build constant per version —
+        # hoisting it drops two multiplies and a divide from every score
+        # without changing a single float operation's operands.
+        a0 = alpha * ((t100_base + 1) / obj_n)
+        a1 = alpha * (t100_base / obj_n)
+        gate = not_before + EPSILON
+        # Per-build hoists for the fused replan.  Nothing mutates the
+        # schedule during a build (commits land between builds), so machine
+        # budgets, the offline set, the rule-(b) gate and the execution
+        # calendar tail are loop constants — the per-replan
+        # available_energy / earliest_gap calls of the generic path
+        # collapse to float compares against these.
+        cache_on = schedule.plan_cache_enabled
+        plan_cache = schedule._plan_cache
+        cache_key = (machine, False)
+        exec_tail = schedule.exec_timeline[machine].tail
+        offline_set = schedule.offline
+        machine_offline = machine in offline_set
+        avail = schedule.available_energy
+        # Rule (b) reduced for ready tasks: assigned/parents-mapped always
+        # hold, so FeasibilityChecker.is_feasible is one memoised-static
+        # lookup against this threshold (same arithmetic, same slack).
+        # Per-machine verdict thresholds are premultiplied once per build —
+        # the _demand_shortfall comparison scale on the same availability.
+        rb_gate = avail(machine) * _BUDGET_SLACK + 1e-12
+        thresh: list[float | None] = [None] * self._n_machines
+        thresh[machine] = rb_gate
+        required = checker.required_energy
+        required_memo = checker._required
+        comm_valid = schedule._comm_entry_valid
+        shift_comms = schedule._shift_comms
+        comms_floor = schedule._plan_comms_floor
+        exec_facts_fn = schedule.exec_facts
+        exec_static = schedule._exec_static
+        wc_outgoing = schedule._worst_case_outgoing
+        wc_memo = schedule._wc_out
+        edge_reserve = schedule._edge_reserve
+        hold_reserves = schedule.hold_comm_reserves
+        facts_col = self._facts
+        req1_col = self._req1
+        wc_col = self._wc
+        n_hit = n_shift = n_miss = 0
+        members: list[int] = []  # slot indices, gathered in task order
+        min_release: float | None = None
+        reused = invalidated = 0
+        span = (
+            tracer.span("pool.columnar", machine=machine, clock=not_before)
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with span, perf.timer("phase.pool_seconds"):
+            for task in schedule.ready_sorted():
+                r = release[task]
+                if r > gate:
+                    if min_release is None or r < min_release:
+                        min_release = r
+                    continue
+                idx = base + task
+                k = kind[idx]
+                clean = (
+                    k != _EMPTY
+                    and slot_gen[idx] == gen
+                    and epoch_col[idx] == epochs[task]
+                )
+                if clean:
+                    db = dep_base + dep_off[task]
+                    for d in range(dep_n[idx]):
+                        if touch[dep_ids[db + d]] != dep_stamps[db + d]:
+                            clean = False
+                            break
+                    if clean and k == _CANDIDATE and not_before != nb_col[idx]:
+                        # Clock rule — identical to CandidatePool: stored
+                        # plans survive a clock advance only when the
+                        # data-ready floor dominates both clocks and every
+                        # planned transfer starts at/after the new clock.
+                        enb = nb_col[idx]
+                        dr = ready_col[idx]
+                        if not (
+                            not_before > enb
+                            and dr > enb
+                            and dr >= not_before
+                            and comm_col[idx] >= not_before
+                        ):
+                            clean = False
+                if clean:
+                    reused += 1
+                    if k == _CANDIDATE:
+                        if token_col[idx] != token:
+                            # Aggregates moved: re-score both versions with
+                            # after_plan's exact arithmetic (same ops, same
+                            # order) and re-run the selection tie rule.
+                            win = -1
+                            best = 0.0
+                            if feas0[idx]:
+                                f = finish0[idx]
+                                aet = aet_base if aet_base >= f else f
+                                ratio = aet / tau
+                                if aet_mode == _AET_TENT:
+                                    two = 2.0 - ratio
+                                    term = ratio if ratio <= two else two
+                                    if term <= 0.0:
+                                        term = 0.0
+                                elif aet_mode == _AET_CLAMP:
+                                    term = ratio if ratio <= 1.0 else 1.0
+                                elif aet_mode == _AET_RAW:
+                                    term = ratio
+                                else:
+                                    term = -ratio
+                                best = (
+                                    a0
+                                    - beta * ((tec_base + energy0[idx]) / tse)
+                                    + gamma * term
+                                )
+                                win = 0
+                            if feas1[idx]:
+                                f = finish1[idx]
+                                aet = aet_base if aet_base >= f else f
+                                ratio = aet / tau
+                                if aet_mode == _AET_TENT:
+                                    two = 2.0 - ratio
+                                    term = ratio if ratio <= two else two
+                                    if term <= 0.0:
+                                        term = 0.0
+                                elif aet_mode == _AET_CLAMP:
+                                    term = ratio if ratio <= 1.0 else 1.0
+                                elif aet_mode == _AET_RAW:
+                                    term = ratio
+                                else:
+                                    term = -ratio
+                                score1 = (
+                                    a1
+                                    - beta * ((tec_base + energy1[idx]) / tse)
+                                    + gamma * term
+                                )
+                                # Tie rule: the secondary never counts
+                                # toward T100, so it wins only strictly.
+                                if win < 0 or score1 > best:
+                                    best = score1
+                                    win = 1
+                            score_col[idx] = best
+                            token_col[idx] = token
+                            pair = pairs[idx]
+                            plan = pair[win]
+                            if plan is None:
+                                # The aggregate shift flipped the winner to
+                                # the version the fused replan left as
+                                # column facts — materialise it now, from
+                                # the stored columns, bit-identically to
+                                # the plan the generic path built eagerly.
+                                plan = object.__new__(ExecutionPlan)
+                                plan.__dict__.update({
+                                    "task": task,
+                                    "version": _PRIMARY
+                                    if win == 0
+                                    else _SECONDARY,
+                                    "machine": machine,
+                                    "start": start0[idx]
+                                    if win == 0
+                                    else start1[idx],
+                                    "finish": finish0[idx]
+                                    if win == 0
+                                    else finish1[idx],
+                                    "exec_energy": exec_facts_fn(task, machine)[
+                                        win
+                                    ][1],
+                                    "comms": pair[2],
+                                    "energy_delta": energy0[idx]
+                                    if win == 0
+                                    else energy1[idx],
+                                    "data_ready": ready_col[idx],
+                                    "feasible": True,
+                                    "reason": "",
+                                })
+                                pair[win] = plan
+                            cand = object.__new__(Candidate)
+                            cand.__dict__.update({
+                                "task": task,
+                                "plan": plan,
+                                "score": best,
+                            })
+                            cands[idx] = cand
+                        members.append(idx)
+                    continue
+                invalidated += 1
+                epoch = epochs[task]
+                slot_gen[idx] = gen
+                epoch_col[idx] = epoch
+                req = req1_col[idx]
+                if req is None:
+                    req = required_memo.get((task, machine, _SECONDARY))
+                    if req is None:
+                        req = required(task, machine, _SECONDARY)
+                    req1_col[idx] = req
+                if req > rb_gate:
+                    kind[idx] = _RULE_B
+                    pairs[idx] = None
+                    cands[idx] = None
+                    deps = {machine}
+                    for p in parents[task]:
+                        deps.add(assignments[p].machine)
+                else:
+                    # -- fused replan: _plan_pair + select_candidate without
+                    # the wrapper layers.  Identical plan-cache probes, then
+                    # flat arithmetic against the per-build hoists.
+                    entry = None
+                    pcomms = None
+                    dr_floor = 0.0
+                    local_floor = 0.0
+                    if cache_on:
+                        per_task = plan_cache.get(task)
+                        if per_task is not None:
+                            entry = per_task.get(cache_key)
+                        if entry is not None:
+                            if comm_valid(entry, machine, not_before, epoch):
+                                n_hit += 1
+                                pcomms = entry.comms
+                                dr_floor = entry.dr_floor
+                                min_comm = entry.min_comm_start
+                            else:
+                                shifted = shift_comms(
+                                    entry, machine, not_before, epoch
+                                )
+                                if shifted is not None:
+                                    n_shift += 1
+                                    pcomms, dr_floor = shifted
+                                    min_comm = entry.min_comm_start
+                                else:
+                                    entry = None
+                    if pcomms is None:
+                        n_miss += 1
+                        pcomms, dr_floor, local_floor = comms_floor(
+                            task, machine, not_before
+                        )
+                        min_comm = (
+                            min(c.start for c in pcomms) if pcomms else math.inf
+                        )
+                    # A surviving entry certifies the parents' assignments,
+                    # so its dep_machines IS {machine} ∪ parent machines.
+                    if entry is not None:
+                        deps = entry.dep_machines
+                    else:
+                        deps = {machine}
+                        for p in parents[task]:
+                            deps.add(assignments[p].machine)
+                    # max() (not a bare compare) so signed-zero floors stay
+                    # bitwise identical to the generic path's data_ready.
+                    data_ready = max(not_before, dr_floor)
+                    offline = machine_offline
+                    comm_energy = 0.0
+                    for c in pcomms:
+                        comm_energy += c.energy
+                        if c.src in offline_set:
+                            offline = True
+                    facts = facts_col[idx]
+                    if facts is None:
+                        facts = exec_static.get((task, machine))
+                        if facts is None:
+                            facts = exec_facts_fn(task, machine)
+                        facts_col[idx] = facts
+                    d0 = d1 = None
+                    vf0 = vf1 = False
+                    if not offline:
+                        # A surviving entry proves the parents' assignments
+                        # are unchanged and transfer energies never move in
+                        # a shift, so its stored demand dicts are
+                        # bit-identical to fresh ones (see _plan_pair).
+                        if entry is not None:
+                            d0, d1 = entry.demands
+                        if d0 is None or d1 is None:
+                            # _net_energy_demand for both versions in one
+                            # walk: per-dict float operations in exactly the
+                            # generic order, the per-version worst-case
+                            # outgoing reserve from its memo.
+                            d0 = {machine: facts[0][1]}
+                            d1 = {machine: facts[1][1]}
+                            for c in pcomms:
+                                src = c.src
+                                ce = c.energy
+                                d0[src] = d0.get(src, 0.0) + ce
+                                d1[src] = d1.get(src, 0.0) + ce
+                            if hold_reserves:
+                                for p in parents[task]:
+                                    src = assignments[p].machine
+                                    rel = edge_reserve.get((p, task), 0.0)
+                                    d0[src] = d0.get(src, 0.0) - rel
+                                    d1[src] = d1.get(src, 0.0) - rel
+                                w01 = wc_col[idx]
+                                if w01 is None:
+                                    w0 = wc_memo.get(
+                                        (task, machine, _PRIMARY)
+                                    )
+                                    if w0 is None:
+                                        w0 = wc_outgoing(
+                                            task, machine, _PRIMARY
+                                        )
+                                    w1 = wc_memo.get(
+                                        (task, machine, _SECONDARY)
+                                    )
+                                    if w1 is None:
+                                        w1 = wc_outgoing(
+                                            task, machine, _SECONDARY
+                                        )
+                                    w01 = wc_col[idx] = (w0, w1)
+                                d0[machine] += w01[0]
+                                d1[machine] += w01[1]
+                        # _demand_shortfall's verdict, against the hoisted
+                        # budgets (nothing commits mid-build).
+                        vf0 = True
+                        for j, amount in d0.items():
+                            th = thresh[j]
+                            if th is None:
+                                th = thresh[j] = (
+                                    avail(j) * _BUDGET_SLACK + 1e-12
+                                )
+                            if amount > th:
+                                vf0 = False
+                                break
+                        vf1 = True
+                        for j, amount in d1.items():
+                            th = thresh[j]
+                            if th is None:
+                                th = thresh[j] = (
+                                    avail(j) * _BUDGET_SLACK + 1e-12
+                                )
+                            if amount > th:
+                                vf1 = False
+                                break
+                    # Placement + inline scoring.  Append-only earliest_gap
+                    # on a calendar whose busy intervals all end at/before
+                    # its tail is max(data_ready, tail) by construction;
+                    # dead versions carry no placement and are never read.
+                    win = -1
+                    best = 0.0
+                    if vf0:
+                        st = max(data_ready, exec_tail)
+                        fin = st + facts[0][0]
+                        ed = facts[0][1] + comm_energy
+                        start0[idx] = st
+                        finish0[idx] = fin
+                        energy0[idx] = ed
+                        aet = aet_base if aet_base >= fin else fin
+                        ratio = aet / tau
+                        if aet_mode == _AET_TENT:
+                            two = 2.0 - ratio
+                            term = ratio if ratio <= two else two
+                            if term <= 0.0:
+                                term = 0.0
+                        elif aet_mode == _AET_CLAMP:
+                            term = ratio if ratio <= 1.0 else 1.0
+                        elif aet_mode == _AET_RAW:
+                            term = ratio
+                        else:
+                            term = -ratio
+                        best = a0 - beta * ((tec_base + ed) / tse) + gamma * term
+                        win = 0
+                    if vf1:
+                        st = max(data_ready, exec_tail)
+                        fin = st + facts[1][0]
+                        ed = facts[1][1] + comm_energy
+                        start1[idx] = st
+                        finish1[idx] = fin
+                        energy1[idx] = ed
+                        aet = aet_base if aet_base >= fin else fin
+                        ratio = aet / tau
+                        if aet_mode == _AET_TENT:
+                            two = 2.0 - ratio
+                            term = ratio if ratio <= two else two
+                            if term <= 0.0:
+                                term = 0.0
+                        elif aet_mode == _AET_CLAMP:
+                            term = ratio if ratio <= 1.0 else 1.0
+                        elif aet_mode == _AET_RAW:
+                            term = ratio
+                        else:
+                            term = -ratio
+                        score1 = a1 - beta * ((tec_base + ed) / tse) + gamma * term
+                        # Tie rule: the secondary wins only strictly.
+                        if win < 0 or score1 > best:
+                            best = score1
+                            win = 1
+                    if win < 0:
+                        kind[idx] = _NO_VERSION
+                        pairs[idx] = None
+                        cands[idx] = None
+                    else:
+                        wenergy = facts[win][1]
+                        plan = object.__new__(ExecutionPlan)
+                        plan.__dict__.update({
+                            "task": task,
+                            "version": _PRIMARY if win == 0 else _SECONDARY,
+                            "machine": machine,
+                            "start": start0[idx] if win == 0 else start1[idx],
+                            "finish": finish0[idx] if win == 0 else finish1[idx],
+                            "exec_energy": wenergy,
+                            "comms": pcomms,
+                            "energy_delta": wenergy + comm_energy,
+                            "data_ready": data_ready,
+                            "feasible": True,
+                            "reason": "",
+                        })
+                        kind[idx] = _CANDIDATE
+                        pairs[idx] = [
+                            plan if win == 0 else None,
+                            plan if win == 1 else None,
+                            pcomms,
+                        ]
+                        cand = object.__new__(Candidate)
+                        cand.__dict__.update({
+                            "task": task,
+                            "plan": plan,
+                            "score": best,
+                        })
+                        cands[idx] = cand
+                        score_col[idx] = best
+                        members.append(idx)
+                    nb_col[idx] = not_before
+                    ready_col[idx] = data_ready
+                    comm_col[idx] = min_comm
+                    feas0[idx] = 1 if vf0 else 0
+                    feas1[idx] = 1 if vf1 else 0
+                    token_col[idx] = token
+                    if cache_on:
+                        if entry is None:
+                            entry = self._new_cache_entry(
+                                task,
+                                machine,
+                                not_before,
+                                pcomms,
+                                dr_floor,
+                                local_floor,
+                                min_comm,
+                                epoch,
+                                deps,
+                            )
+                        # The pair layer is superseded by the columns: a
+                        # later generic probe (e.g. SLRH-2's stale-pool
+                        # walk) reuses the comm facts and demands through
+                        # _plan_pair, never a stale pair.
+                        entry.pair = None
+                        entry.pair_nb = not_before
+                        entry.demands = (d0, d1)
+                # Certificate stamps: the target machine plus every parent's
+                # machine — exactly the set a commit can move.  Order is
+                # irrelevant: validity is a conjunction over the set.
+                db = dep_base + dep_off[task]
+                d = 0
+                for j in deps:
+                    dep_ids[db + d] = j
+                    dep_stamps[db + d] = touch[j]
+                    d += 1
+                dep_n[idx] = d
+            # One argsort over the score column: members were gathered in
+            # ascending task order and reverse sorts are stable, so equal
+            # scores keep task order — exactly the (-score, task) rule.
+            members.sort(key=score_col.__getitem__, reverse=True)
+            pool = [cands[i] for i in members]
+        perf.inc("pool.builds")
+        perf.inc("pool.members", len(pool))
+        if reused:
+            perf.inc("pool.reuse_hits", reused)
+        if invalidated:
+            perf.inc("pool.invalidations", invalidated)
+        # Plan-cache bookkeeping, batched per build (the fused path never
+        # takes a pair hit — its pair layer lives in the columns).
+        if n_hit:
+            perf.inc("plan.cache.comm_hit", n_hit)
+        if n_shift:
+            perf.inc("plan.cache.comm_shift", n_shift)
+        if n_miss:
+            perf.inc("plan.cache.comm_miss", n_miss)
+        n_pairs = n_hit + n_shift + n_miss
+        if n_pairs:
+            perf.inc("plan.cache.pair_miss", n_pairs)
+            perf.inc("plan.pairs", n_pairs)
+        return pool, min_release
+
+    def _new_cache_entry(
+        self,
+        task: int,
+        machine: int,
+        not_before: float,
+        comms: tuple,
+        dr_floor: float,
+        local_floor: float,
+        min_comm: float,
+        epoch: int,
+        deps: set[int],
+    ) -> _PlanCacheEntry:
+        """Create and register a plan-cache entry carrying the comm facts a
+        generic ``_plan_pair`` miss would store — same validity
+        certificates, same replay facts — so incremental-mode code can keep
+        reusing entries the fused paths write (and vice versa)."""
+        schedule = self.schedule
+        in_tl = schedule.in_channel[machine]
+        entry = _PlanCacheEntry()
+        entry.parent_epoch = epoch
+        entry.insertion = False
+        entry.comms = comms
+        entry.dr_floor = dr_floor
+        entry.comm_nb = not_before
+        entry.min_comm_start = min_comm
+        entry.in_version = entry.base_in_version = in_tl.version
+        entry.in_release = in_tl.release_version
+        entry.local_floor = local_floor
+        if comms:
+            out_channel = schedule.out_channel
+            assignments = schedule.assignments
+            seen: dict[int, tuple[int, int]] = {}
+            lb_floors = []
+            base_starts = []
+            window_ends = []
+            # Immutable replay facts (see _shift_comms), one pass.
+            for c in comms:
+                src = c.src
+                if src not in seen:
+                    otl = out_channel[src]
+                    seen[src] = (otl.version, otl.release_version)
+                lb_floors.append(assignments[c.parent].finish)
+                start = c.start
+                base_starts.append(start)
+                we = out_channel[src].next_busy_start_after(start)
+                wi = in_tl.next_busy_start_after(start)
+                window_ends.append(we if we <= wi else wi)
+            entry.out_versions = tuple(
+                (src, v, rel) for src, (v, rel) in seen.items()
+            )
+            entry.base_out_versions = tuple(
+                (src, v) for src, (v, rel) in seen.items()
+            )
+            entry.lb_floors = tuple(lb_floors)
+            entry.base_starts = tuple(base_starts)
+            entry.window_ends = tuple(window_ends)
+        else:
+            entry.out_versions = ()
+            entry.base_out_versions = ()
+            entry.lb_floors = ()
+            entry.base_starts = ()
+            entry.window_ends = ()
+        entry.dep_machines = tuple(sorted(deps))
+        schedule._plan_cache.setdefault(task, {})[(machine, False)] = entry
+        return entry
+
+    def replan(self, task: int, version, machine: int, not_before: float):
+        """Fused twin of :meth:`Schedule.plan` for the stale-pool walk
+        (SLRH-2): the same plan-cache probes, demand verdicts and placement
+        as the generic path, materialising only the requested version's
+        plan.  Every committed plan is byte-identical to the generic
+        path's; infeasible plans carry an empty ``reason`` string — the
+        kernel reads reasons only into a decision ledger, and ledgered
+        runs never take this path (the kernel falls back to
+        ``Schedule.plan``)."""
+        schedule = self.schedule
+        perf = schedule.perf
+        vi = 0 if version is _PRIMARY else 1
+        epoch = schedule.parent_epochs()[task]
+        cache_on = schedule.plan_cache_enabled
+        entry = None
+        pcomms = None
+        dr_floor = 0.0
+        local_floor = 0.0
+        min_comm = math.inf
+        if cache_on:
+            per_task = schedule._plan_cache.get(task)
+            if per_task is not None:
+                entry = per_task.get((machine, False))
+            if entry is not None:
+                if schedule._comm_entry_valid(entry, machine, not_before, epoch):
+                    perf.inc("plan.cache.comm_hit")
+                    pcomms = entry.comms
+                    dr_floor = entry.dr_floor
+                    min_comm = entry.min_comm_start
+                else:
+                    shifted = schedule._shift_comms(
+                        entry, machine, not_before, epoch
+                    )
+                    if shifted is not None:
+                        perf.inc("plan.cache.comm_shift")
+                        pcomms, dr_floor = shifted
+                        min_comm = entry.min_comm_start
+                    else:
+                        entry = None
+        if pcomms is None:
+            perf.inc("plan.cache.comm_miss")
+            pcomms, dr_floor, local_floor = schedule._plan_comms_floor(
+                task, machine, not_before
+            )
+            for c in pcomms:
+                if c.start < min_comm:
+                    min_comm = c.start
+        perf.inc("plan.cache.pair_miss")
+        perf.inc("plan.pairs")
+        data_ready = max(not_before, dr_floor)
+        offline_set = schedule.offline
+        offline = machine in offline_set
+        comm_energy = 0.0
+        for c in pcomms:
+            comm_energy += c.energy
+            if c.src in offline_set:
+                offline = True
+        facts = schedule._exec_static.get((task, machine))
+        if facts is None:
+            facts = schedule.exec_facts(task, machine)
+        d0 = d1 = None
+        feasible = False
+        if not offline:
+            if entry is not None:
+                d0, d1 = entry.demands
+            if d0 is None or d1 is None:
+                d0 = schedule._net_energy_demand(
+                    task, machine, _PRIMARY, facts[0][1], pcomms
+                )
+                d1 = schedule._net_energy_demand(
+                    task, machine, _SECONDARY, facts[1][1], pcomms
+                )
+            avail = schedule.available_energy
+            feasible = True
+            for j, amount in (d0 if vi == 0 else d1).items():
+                if amount > avail(j) * _BUDGET_SLACK + 1e-12:
+                    feasible = False
+                    break
+        duration, exec_energy = facts[vi]
+        if feasible:
+            # Append-only placement at the (post-commit) calendar tail.
+            start = max(data_ready, schedule.exec_timeline[machine].tail)
+        else:
+            # Dead plans anchor at their data-ready time (see _plan_pair).
+            start = data_ready
+        plan = object.__new__(ExecutionPlan)
+        plan.__dict__.update({
+            "task": task,
+            "version": version,
+            "machine": machine,
+            "start": start,
+            "finish": start + duration,
+            "exec_energy": exec_energy,
+            "comms": pcomms,
+            "energy_delta": exec_energy + comm_energy,
+            "data_ready": data_ready,
+            "feasible": feasible,
+            "reason": "",
+        })
+        if cache_on:
+            if entry is None:
+                deps = {machine}
+                assignments = schedule.assignments
+                for p in schedule.scenario.dag.parents[task]:
+                    deps.add(assignments[p].machine)
+                entry = self._new_cache_entry(
+                    task,
+                    machine,
+                    not_before,
+                    pcomms,
+                    dr_floor,
+                    local_floor,
+                    min_comm,
+                    epoch,
+                    deps,
+                )
+            entry.pair = None
+            entry.pair_nb = not_before
+            entry.demands = (d0, d1)
+        return plan

@@ -1,0 +1,16 @@
+"""Shared numeric tolerances for the scheduling core.
+
+One named epsilon instead of scattered ``1e-9`` literals: every gate that
+compares simulated times or release clocks (the pool's release gate, the
+kernel's sleep/wake predicates, τ acceptance, horizon eligibility) must
+use the *same* tolerance, or two sides of one comparison can disagree by
+a rounding error — the kernel once woke machines one event early because
+its sleep computation subtracted the epsilon the release gate *adds*
+(see ``SchedulingKernel._serve_machine``).
+
+This module is a leaf: it imports nothing, so it is safely importable
+from ``repro.sim`` while ``repro.core`` is still initialising.
+"""
+
+#: Absolute tolerance for simulated-time and release-clock comparisons.
+EPSILON: float = 1e-9

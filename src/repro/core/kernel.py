@@ -49,16 +49,29 @@ searches are monotone in their lower bound), so a sleep can only ever be
 *conservative* — waking early is harmless, and the serve that follows
 re-derives eligibility from scratch.
 
-Differential oracle
--------------------
-``REPRO_KERNEL=rebuild`` (or ``SlrhConfig(kernel="rebuild")``) keeps the
-original from-scratch pool construction as the reference implementation;
-mappings are byte-identical between the two modes for every heuristic
-(pinned by ``tests/test_kernel.py`` and the ``kernel-differential`` CI
-job).  The decision ledger records per-tick rejection history that only
-exists when pools are actually rebuilt, so ledgered runs always use the
-rebuild path — observability never changes the mapping, and the hot path
-never pays for it.
+Columnar pools
+--------------
+The default ``columnar`` mode (``REPRO_KERNEL=columnar``) keeps exactly
+the :class:`CandidatePool` maintenance discipline but stores the pool
+state in flat parallel arrays (:class:`repro.core.columnar.ColumnarPool`)
+— certificate checks and re-scoring become index arithmetic, candidate
+ordering a single stable argsort over the score column — and lets
+:meth:`SchedulingKernel.run` fast-forward runs of stall ticks (every
+machine unavailable or asleep) in one tight loop.  Both replicate the
+object path's float arithmetic operation-for-operation, so mappings,
+trace counters and pool counters are byte-identical across all modes.
+
+Differential oracles
+--------------------
+``REPRO_KERNEL=incremental`` keeps the delta-maintained object pools and
+``REPRO_KERNEL=rebuild`` (or ``SlrhConfig(kernel=...)``) the original
+from-scratch pool construction as reference implementations; mappings
+are byte-identical across the three modes for every heuristic (pinned by
+``tests/test_kernel.py`` and the ``kernel-differential`` CI job).  The
+decision ledger records per-tick rejection history that only exists when
+pools are actually rebuilt, so ledgered runs always use the rebuild path
+— observability never changes the mapping, and the hot path never pays
+for it.
 """
 
 from __future__ import annotations
@@ -68,6 +81,8 @@ import os
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.columnar import ColumnarPool
+from repro.core.constants import EPSILON
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.objective import ObjectiveFunction
 from repro.core.pool import Candidate, build_candidate_pool, select_candidate
@@ -80,20 +95,22 @@ from repro.workload.versions import SECONDARY
 
 __all__ = [
     "CandidatePool",
+    "ColumnarPool",
     "KERNEL_MODES",
     "SchedulingKernel",
     "TickPolicy",
     "resolve_kernel_mode",
 ]
 
-#: The two kernel modes: ``incremental`` (delta-maintained pools, the
-#: default) and ``rebuild`` (from-scratch pools — the differential oracle).
-KERNEL_MODES = ("incremental", "rebuild")
+#: The three kernel modes: ``columnar`` (flat-array pools, the default),
+#: ``incremental`` (delta-maintained object pools) and ``rebuild``
+#: (from-scratch pools — the differential oracle).
+KERNEL_MODES = ("columnar", "incremental", "rebuild")
 
 
 def resolve_kernel_mode(override: str | None = None, *, ledger: bool = False) -> str:
     """The kernel mode to run: *override* if given, else ``$REPRO_KERNEL``,
-    else ``incremental``.  A decision ledger forces ``rebuild`` — its
+    else ``columnar``.  A decision ledger forces ``rebuild`` — its
     per-tick rejection records only exist when pools are actually rebuilt
     (recording never changes the mapping either way).
     """
@@ -101,7 +118,9 @@ def resolve_kernel_mode(override: str | None = None, *, ledger: bool = False) ->
         return "rebuild"
     mode = override if override is not None else os.environ.get("REPRO_KERNEL", "")
     mode = str(mode).strip().lower()
-    if mode in ("", "incremental", "inc", "delta", "1", "on"):
+    if mode in ("", "columnar", "col", "flat"):
+        return "columnar"
+    if mode in ("incremental", "inc", "delta", "1", "on"):
         return "incremental"
     if mode in ("rebuild", "full", "oracle", "0", "off"):
         return "rebuild"
@@ -226,14 +245,14 @@ class CandidatePool:
         when there is none) — the kernel's wake-up hint."""
         schedule = self.schedule
         perf = schedule.perf
-        agg = (schedule.t100, schedule.total_energy_consumed, schedule.makespan)
+        agg = schedule.aggregate_state()
         if agg != self._agg:
             self._agg = agg
             self._token += 1
         token = self._token
         entries = self._entries[machine]
         touch = self._touch
-        epochs = schedule._parent_epoch
+        epochs = schedule.parent_epochs()
         scenario = schedule.scenario
         objective = self.objective
         checker = self.checker
@@ -248,7 +267,7 @@ class CandidatePool:
         with span, perf.timer("phase.pool_seconds"):
             for task in schedule.ready_tasks():
                 release = scenario.release(task)
-                if release > not_before + 1e-9:
+                if release > not_before + EPSILON:
                     if min_release is None or release < min_release:
                         min_release = release
                     continue
@@ -363,15 +382,20 @@ class SchedulingKernel:
         # The index-order scan list is immutable and shared across ticks
         # (round-robin rotates it, battery re-sorts it per tick).
         self._order = list(range(n_machines))
-        self.pool = (
-            CandidatePool(schedule, checker, objective)
-            if mode == "incremental" and checker is not None
-            else None
-        )
-        # Per-machine wake-up times: a machine at/past its wake time must
-        # be served; one strictly before it provably has nothing startable
-        # (every event resets all wake times to "now").
-        self._wake = [-math.inf] * n_machines
+        if checker is not None and mode != "rebuild":
+            pool_cls = ColumnarPool if mode == "columnar" else CandidatePool
+            self.pool = pool_cls(schedule, checker, objective)
+        else:
+            self.pool = None
+        # Per-machine sleep state, stored as the *raw* event times the last
+        # serve observed (earliest unreleased-task release, earliest pool
+        # data-ready) rather than a precomputed wake tick: the asleep test
+        # then evaluates the release gate and the horizon rule with exactly
+        # the arithmetic the serve itself would use, so a machine can never
+        # wake an event early (or late) to float rounding.  -inf = must
+        # serve (every event resets both to -inf); +inf = unconstrained.
+        self._wake_release = [-math.inf] * n_machines
+        self._wake_ready = [-math.inf] * n_machines
 
     # -- clock-driven mode (the SLRH family) --------------------------------
 
@@ -387,9 +411,21 @@ class SchedulingKernel:
         return self._order
 
     def _wake_all(self) -> None:
-        wake = self._wake
-        for j in range(len(wake)):
-            wake[j] = -math.inf
+        wake_release = self._wake_release
+        wake_ready = self._wake_ready
+        for j in range(len(wake_release)):
+            wake_release[j] = -math.inf
+            wake_ready[j] = -math.inf
+
+    def _asleep(self, j: int, clock: SimulationClock) -> bool:
+        """Whether machine *j* provably has nothing startable at *clock*:
+        its earliest unreleased task still fails the pool's release gate
+        AND its earliest data-ready time is still past the horizon — the
+        same comparisons, with the same tolerance, the serve would make."""
+        return (
+            self._wake_release[j] > (clock.now + self.latency) + EPSILON
+            and self._wake_ready[j] > clock.horizon_end + EPSILON
+        )
 
     def run(
         self,
@@ -412,9 +448,33 @@ class SchedulingKernel:
             self.pool.invalidate_all()
             self._wake_all()
         tracing = tracer.enabled
-        for tick_index in range(max_ticks):
+        # Stall ticks (every machine unavailable or asleep) mutate nothing
+        # but the clock and three trace counters, so the columnar mode
+        # consumes them in a tight arithmetic loop instead of the full
+        # scan machinery.  Guarded to the untraced, unledgered hot path;
+        # the loop evaluates the exact same availability/sleep predicates
+        # per tick, so counters and mappings are byte-identical.
+        fast = (
+            self.mode == "columnar"
+            and self.pool is not None
+            and not tracing
+            and trace.ledger is None
+        )
+        tick_index = 0
+        while tick_index < max_ticks:
             if stop_cycle is not None and clock.cycle >= stop_cycle:
                 break
+            if fast:
+                consumed, stop = self._fast_forward(
+                    clock, trace, max_ticks - tick_index, stop_cycle, scenario.tau
+                )
+                tick_index += consumed
+                if stop:
+                    break
+                if consumed:
+                    continue
+                if tick_index >= max_ticks:
+                    break
             trace.note_tick()
             tick_span = (
                 tracer.span("kernel.tick", tick=tick_index, clock=clock.now)
@@ -426,11 +486,11 @@ class SchedulingKernel:
                     trace.note_machine_scan()
                     if not schedule.machine_available(j, clock.now):
                         continue
-                    if self.pool is not None and clock.now < self._wake[j]:
+                    if self.pool is not None and self._asleep(j, clock):
                         # Asleep: the last serve proved nothing can start
-                        # before the wake time absent events, and any event
-                        # would have reset the wake.  A from-scratch serve
-                        # here would commit nothing — count the stall
+                        # before the stored event times absent events, and
+                        # any event would have reset them.  A from-scratch
+                        # serve here would commit nothing — count the stall
                         # exactly as the rebuild path does.
                         trace.note_empty_pool()
                         continue
@@ -442,8 +502,84 @@ class SchedulingKernel:
             if schedule.is_complete:
                 break
             clock.tick()
+            tick_index += 1
             if clock.exceeded(scenario.tau):
                 break
+
+    def _fast_forward(
+        self,
+        clock: SimulationClock,
+        trace: MappingTrace,
+        budget: int,
+        stop_cycle: int | None,
+        tau: float,
+    ) -> tuple[int, bool]:
+        """Consume consecutive stall ticks — ticks where every machine is
+        either unavailable or asleep — in one tight loop; returns (ticks
+        consumed, whether the run must stop).  Mirrors the main loop
+        exactly: per consumed tick it advances the clock once and accounts
+        one tick, one scan per machine, and one empty-pool stall per
+        available (asleep) machine.  Nothing else can change during a
+        stall: commits are the only in-run mutations, and a stall tick by
+        definition commits nothing.
+        """
+        schedule = self.schedule
+        offline = schedule.offline
+        latency = self.latency
+        wake_release = self._wake_release
+        wake_ready = self._wake_ready
+        n_machines = len(wake_release)
+        # Hoisted availability facts: a machine is unavailable while its
+        # last committed execution ends after the clock (timeline rule);
+        # calendars cannot move during a stall.  Offline machines never
+        # contribute either way, so the scan list drops them up front.
+        mach = [
+            (tl.last_busy_end(), wake_release[j], wake_ready[j])
+            for j, tl in enumerate(schedule.exec_timeline)
+            if j not in offline
+        ]
+        # Inlined SimulationClock arithmetic — now / horizon_end / tick /
+        # exceeded are affine in the cycle counter; evaluating the same
+        # expressions on hoisted fields keeps every float identical while
+        # dropping five attribute/property calls per stall tick.
+        cycle = clock.cycle
+        dt = clock.delta_t_cycles
+        cs = clock.cycle_seconds
+        hc = clock.horizon_cycles
+        consumed = 0
+        empty_total = 0
+        stop = False
+        while consumed < budget:
+            if stop_cycle is not None and cycle >= stop_cycle:
+                break
+            now = cycle * cs
+            gate = (now + latency) + EPSILON
+            horizon = (cycle + hc) * cs + EPSILON
+            now_eps = now + EPSILON
+            empty = 0
+            stalled = True
+            for busy_end_j, wr_j, wd_j in mach:
+                if busy_end_j > now_eps:
+                    continue
+                if wr_j > gate and wd_j > horizon:
+                    empty += 1
+                    continue
+                stalled = False
+                break
+            if not stalled:
+                break
+            consumed += 1
+            empty_total += empty
+            cycle += dt
+            if cycle * cs > tau + 1e-9:
+                stop = True
+                break
+        clock.cycle = cycle
+        if consumed:
+            trace.ticks += consumed
+            trace.machine_scans += consumed * n_machines
+            trace.empty_pool_ticks += empty_total
+        return consumed, stop
 
     def _build_pool(
         self,
@@ -497,16 +633,22 @@ class SchedulingKernel:
             # the horizon, and data-ready times only grow with the clock.
             # Absent events the machine cannot commit before the horizon
             # reaches the earliest of them (or an unreleased ready task
-            # arrives) — sleep until then.
-            horizon = clock.horizon_end - clock.now
-            wake = math.inf
-            if min_release is not None:
-                wake = min_release - self.latency - 1e-9
+            # arrives) — store the raw event times and sleep until either
+            # gate opens.  (An earlier version precomputed a wake *tick* by
+            # subtracting the latency and the gate epsilon; the extra
+            # subtractions could round below the true gate threshold and
+            # wake the machine one event early, burning a pool build on a
+            # tick where the release gate was still closed — pinned by
+            # tests/test_kernel.py::TestSleepGate.)
+            self._wake_release[machine] = (
+                min_release if min_release is not None else math.inf
+            )
+            ready = math.inf
             for candidate in pool:
-                at = candidate.plan.data_ready - horizon - 1e-9
-                if at < wake:
-                    wake = at
-            self._wake[machine] = wake
+                at = candidate.plan.data_ready
+                if at < ready:
+                    ready = at
+            self._wake_ready[machine] = ready
         return made
 
     def _commit_first_startable(
@@ -529,17 +671,33 @@ class SchedulingKernel:
         schedule = self.schedule
         objective = self.objective
         ledger = trace.ledger
+        # The columnar pool carries a fused single-version replan that is
+        # byte-identical for every committable plan but skips the reason
+        # strings of dead ones — usable exactly when no ledger listens.
+        fused_replan = (
+            getattr(self.pool, "replan", None)
+            if replan and ledger is None
+            else None
+        )
         for index, candidate in enumerate(pool):
             plan = candidate.plan
             if replan:
                 if schedule.is_mapped(candidate.task):
                     continue
-                plan = schedule.plan(
-                    candidate.task,
-                    candidate.version,
-                    plan.machine,
-                    not_before=clock.now + self.latency,
-                )
+                if fused_replan is not None:
+                    plan = fused_replan(
+                        candidate.task,
+                        candidate.version,
+                        plan.machine,
+                        clock.now + self.latency,
+                    )
+                else:
+                    plan = schedule.plan(
+                        candidate.task,
+                        candidate.version,
+                        plan.machine,
+                        not_before=clock.now + self.latency,
+                    )
                 if not plan.feasible:
                     if ledger is not None:
                         ledger.reject(

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.core.constants import EPSILON
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.objective import ObjectiveFunction
 from repro.obs.ledger import (
@@ -124,7 +125,10 @@ def evaluate_versions(
                 task, machine, not_before=not_before, insertion=insertion
             ),
         )
-    loser: tuple[ExecutionPlan, float] | None = None
+    # Every plan that loses the selection is kept (a dethroned best included)
+    # and recorded against the *final* winner, so a task with more than two
+    # plans leaves a complete rejection trail in the ledger.
+    losers: list[tuple[ExecutionPlan, float]] = []
     span = tracer.span("select", task=task, machine=machine) if tracer.enabled else NULL_SPAN
     with span:
         for plan in schedule.plan_versions(
@@ -153,25 +157,25 @@ def evaluate_versions(
                 )
             ):
                 if best is not None:
-                    loser = (best.plan, best.score)
+                    losers.append((best.plan, best.score))
                 best = Candidate(task=task, plan=plan, score=score)
             else:
-                loser = (plan, score)
-    if ledger is not None and best is not None and loser is not None:
-        lost_plan, lost_score = loser
-        ledger.reject(
-            clock=not_before,
-            task=task,
-            machine=machine,
-            version=lost_plan.version.value,
-            reason=LOST_ON_SCORE,
-            margin=best.score - lost_score,
-            score=lost_score,
-            detail=(
-                f"version {lost_plan.version.value} outscored by "
-                f"{best.version.value} ({lost_score:.6g} vs {best.score:.6g})"
-            ),
-        )
+                losers.append((plan, score))
+    if ledger is not None and best is not None:
+        for lost_plan, lost_score in losers:
+            ledger.reject(
+                clock=not_before,
+                task=task,
+                machine=machine,
+                version=lost_plan.version.value,
+                reason=LOST_ON_SCORE,
+                margin=best.score - lost_score,
+                score=lost_score,
+                detail=(
+                    f"version {lost_plan.version.value} outscored by "
+                    f"{best.version.value} ({lost_score:.6g} vs {best.score:.6g})"
+                ),
+            )
     return best
 
 
@@ -220,7 +224,7 @@ def build_candidate_pool(
                 # future) cannot enter the pool — the dynamic heuristic has no
                 # advance knowledge of it (§IV).
                 release = scenario.release(task)
-                if release > not_before + 1e-9:
+                if release > not_before + EPSILON:
                     if ledger is not None:
                         ledger.reject(
                             clock=not_before,

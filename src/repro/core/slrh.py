@@ -31,6 +31,7 @@ import math
 import time
 from dataclasses import dataclass
 
+from repro.core.constants import EPSILON
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.kernel import SchedulingKernel, TickPolicy, resolve_kernel_mode
 from repro.core.objective import ObjectiveFunction, Weights
@@ -87,10 +88,11 @@ class SlrhConfig:
     #: records are per-tick history that only exists when pools are
     #: actually rebuilt.
     ledger: bool = False
-    #: Candidate-pool maintenance mode: ``"incremental"`` (delta-maintained
-    #: pools — the default), ``"rebuild"`` (from-scratch every serve — the
-    #: differential oracle), or ``None`` to read ``$REPRO_KERNEL``.  The
-    #: mapping is byte-identical either way; see :mod:`repro.core.kernel`.
+    #: Candidate-pool maintenance mode: ``"columnar"`` (flat-array pools —
+    #: the default), ``"incremental"`` (delta-maintained object pools), or
+    #: ``"rebuild"`` (from-scratch every serve — the differential oracle);
+    #: ``None`` reads ``$REPRO_KERNEL``.  The mapping is byte-identical in
+    #: every mode; see :mod:`repro.core.kernel`.
     kernel: str | None = None
 
 
@@ -119,7 +121,7 @@ class MappingResult:
 
     @property
     def within_tau(self) -> bool:
-        return self.schedule.makespan <= self.schedule.scenario.tau + 1e-9
+        return self.schedule.makespan <= self.schedule.scenario.tau + EPSILON
 
     @property
     def success(self) -> bool:

@@ -145,7 +145,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str, **extra) -> None:
         headers = {}
         if "retry_after" in extra:
-            headers["Retry-After"] = extra.pop("retry_after")
+            # RFC 9110 §10.2.3: Retry-After carries delta-seconds as a
+            # decimal string.  Serialise here, at the header boundary, so
+            # the wire value never depends on how send_header renders an
+            # int — and keep the integer in the JSON body, which clients
+            # (see loadgen) read for their backoff.
+            headers["Retry-After"] = str(int(extra["retry_after"]))
         self._send_json(status, {"error": message, **extra}, extra_headers=headers)
 
     def _read_body(self) -> dict | None:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, replace
 
+from repro.core.constants import EPSILON
 from repro.grid.energy import EnergyLedger
 from repro.obs.spans import NULL_TRACER
 from repro.perf import PerfCounters
@@ -58,6 +59,35 @@ class PlannedComm:
     @property
     def duration(self) -> float:
         return self.finish - self.start
+
+
+def _new_planned_comm(
+    parent: int,
+    child: int,
+    src: int,
+    dst: int,
+    bits: float,
+    start: float,
+    finish: float,
+    energy: float,
+) -> PlannedComm:
+    """:class:`PlannedComm` without the frozen-dataclass ``__init__`` —
+    which pays one ``object.__setattr__`` per field.  Filling the instance
+    ``__dict__`` directly builds an indistinguishable instance (same
+    ``==``, ``repr``, ``replace``) at about a third of the cost; this
+    constructor sits under every channel-slot search."""
+    c = object.__new__(PlannedComm)
+    c.__dict__.update({
+        "parent": parent,
+        "child": child,
+        "src": src,
+        "dst": dst,
+        "bits": bits,
+        "start": start,
+        "finish": finish,
+        "energy": energy,
+    })
+    return c
 
 
 @dataclass(frozen=True)
@@ -209,6 +239,9 @@ class Schedule:
         self.assignments: dict[int, Assignment] = {}
         self._unmapped_parents = [len(p) for p in scenario.dag.parents]
         self._ready = {t for t, c in enumerate(self._unmapped_parents) if c == 0}
+        # Lazily sorted view of _ready (see ready_sorted); cleared by any
+        # mutation of the ready set.
+        self._ready_sorted: tuple[int, ...] | None = None
         # Maintained complement of `assignments` so unmapped_tasks() never
         # rescans range(n_tasks); commit/unassign keep it in lockstep.
         self._unmapped = set(range(scenario.n_tasks))
@@ -257,7 +290,7 @@ class Schedule:
 
     def meets_constraints(self) -> bool:
         """Complete mapping within τ (energy holds by construction)."""
-        return self.is_complete and self._makespan <= self.scenario.tau + 1e-9
+        return self.is_complete and self._makespan <= self.scenario.tau + EPSILON
 
     # -- task-state queries --------------------------------------------------
 
@@ -268,6 +301,30 @@ class Schedule:
         """Unmapped subtasks whose parents are all mapped — the raw pool
         from which the feasibility filter builds U."""
         return frozenset(self._ready)
+
+    def ready_sorted(self) -> tuple[int, ...]:
+        """:meth:`ready_tasks` in ascending task order, cached between
+        mutations — the iteration order of every pool maintenance path, so
+        the per-tick scans share one sort instead of re-sorting a frozenset."""
+        cached = self._ready_sorted
+        if cached is None:
+            cached = self._ready_sorted = tuple(sorted(self._ready))
+        return cached
+
+    def parent_epochs(self) -> list[int]:
+        """Per-task epoch of the parents' assignments (read-only view).
+
+        Bumped for every child when a task commits or unassigns; pool
+        maintainers stamp entries against it to prove a candidate's comm
+        inputs are unchanged.  Callers must not mutate the list.
+        """
+        return self._parent_epoch
+
+    def aggregate_state(self) -> tuple[int, float, float]:
+        """The (T100, TEC, AET) triple every candidate score depends on —
+        one accessor so pool maintainers snapshot it without three
+        attribute walks."""
+        return (self._t100, self.energy.total_energy_consumed, self._makespan)
 
     def unmapped_tasks(self) -> list[int]:
         return sorted(self._unmapped)
@@ -297,6 +354,23 @@ class Schedule:
         """Battery remaining on *j* minus held communication reserves —
         the budget new work may draw on."""
         return self.energy.remaining(j) - self._reserved[j]
+
+    def exec_facts(self, task: int, machine: int) -> tuple[tuple[float, float], ...]:
+        """Static ``(duration, energy)`` per version for (*task*, *machine*)
+        — pure scenario facts, memoised past the ETC-matrix indexing and
+        version scaling; shared by planning and the columnar scorer."""
+        facts = self._exec_static.get((task, machine))
+        if facts is None:
+            scenario = self.scenario
+            facts = tuple(
+                (
+                    scenario.exec_time(task, machine, v),
+                    scenario.compute_energy(task, machine, v),
+                )
+                for v in (Version.PRIMARY, Version.SECONDARY)
+            )
+            self._exec_static[(task, machine)] = facts
+        return facts
 
     def reserved_energy(self, j: int) -> float:
         """Communication energy currently held in reserve on machine *j*."""
@@ -391,56 +465,61 @@ class Schedule:
         common case in sparse DAGs) plan without copying any timeline.
         """
         scenario = self.scenario
+        assignments = self.assignments
+        network = scenario.network
+        grid = scenario.grid
         comms: list[PlannedComm] = []
         # Execution may not begin before the subtask has *arrived* (release
         # time); under the paper's simplification releases are all zero.
         local_floor = scenario.release(task)
         # Deterministic parent order: by completion time, then id.
-        parents = sorted(
-            scenario.dag.parents[task],
-            key=lambda p: (self.assignments[p].finish, p),
-        )
+        parents = scenario.dag.parents[task]
+        if len(parents) > 1:
+            parents = sorted(
+                parents, key=lambda p: (assignments[p].finish, p)
+            )
         out_views: dict[int, IntervalTimeline] = {}
         in_view: IntervalTimeline | None = None
         pending: PlannedComm | None = None
+        # Hot path (both kernel modes funnel through here): inline
+        # data_bits / transfer_time on their hoisted operands — the same
+        # arithmetic on the same values, minus the call layers.
+        data_sizes = scenario.data_sizes
+        cmt = network.cmt
+        out_channel = self.out_channel
+        in_channel_m = self.in_channel[machine]
         for p in parents:
-            pa = self.assignments[p]
-            bits = scenario.data_bits(p, task, pa.version)
+            pa = assignments[p]
+            bits = data_sizes[(p, task)] * pa.version.scale
             if pa.machine == machine or bits <= 0.0:
-                local_floor = max(local_floor, pa.finish)
+                if pa.finish > local_floor:
+                    local_floor = pa.finish
                 continue
             if pending is not None:
                 # A later search must see the previous transfer: materialise
                 # copies now and reserve it on them.
                 src_view = out_views.get(pending.src)
                 if src_view is None:
-                    src_view = out_views[pending.src] = self.out_channel[pending.src].copy()
+                    src_view = out_views[pending.src] = out_channel[pending.src].copy()
                 if in_view is None:
-                    in_view = self.in_channel[machine].copy()
+                    in_view = in_channel_m.copy()
                 src_view.reserve(pending.start, pending.finish)
                 in_view.reserve(pending.start, pending.finish)
                 pending = None
             out_tl = out_views.get(pa.machine)
             if out_tl is None:
-                out_tl = self.out_channel[pa.machine]
-            duration = scenario.network.transfer_time(pa.machine, machine, bits)
+                out_tl = out_channel[pa.machine]
+            duration = bits * cmt(pa.machine, machine)
             start = earliest_common_gap(
                 out_tl,
-                in_view if in_view is not None else self.in_channel[machine],
+                in_view if in_view is not None else in_channel_m,
                 duration,
                 not_before=max(pa.finish, not_before),
             )
             finish = start + duration
-            energy = scenario.grid[pa.machine].transmit_energy(duration)
-            pending = PlannedComm(
-                parent=p,
-                child=task,
-                src=pa.machine,
-                dst=machine,
-                bits=bits,
-                start=start,
-                finish=finish,
-                energy=energy,
+            energy = grid[pa.machine].transmit_energy(duration)
+            pending = _new_planned_comm(
+                p, task, pa.machine, machine, bits, start, finish, energy
             )
             comms.append(pending)
         dr_floor = local_floor
@@ -622,15 +701,15 @@ class Schedule:
             placed.append(
                 c
                 if start == c.start
-                else PlannedComm(
-                    parent=c.parent,
-                    child=c.child,
-                    src=c.src,
-                    dst=c.dst,
-                    bits=c.bits,
-                    start=start,
-                    finish=start + duration,
-                    energy=c.energy,
+                else _new_planned_comm(
+                    c.parent,
+                    c.child,
+                    c.src,
+                    c.dst,
+                    c.bits,
+                    start,
+                    start + duration,
+                    c.energy,
                 )
             )
         comms = tuple(placed)
@@ -791,16 +870,7 @@ class Schedule:
         offline = machine in self.offline or any(c.src in self.offline for c in comms)
         comm_energy = sum(c.energy for c in comms)
         exec_timeline = self.exec_timeline[machine]
-        exec_facts = self._exec_static.get((task, machine))
-        if exec_facts is None:
-            exec_facts = tuple(
-                (
-                    scenario.exec_time(task, machine, v),
-                    scenario.compute_energy(task, machine, v),
-                )
-                for v in (Version.PRIMARY, Version.SECONDARY)
-            )
-            self._exec_static[(task, machine)] = exec_facts
+        exec_facts = self.exec_facts(task, machine)
         plans = []
         demands: list[dict[int, float] | None] = []
         infeas_sig: list[tuple | None] = []
@@ -1043,6 +1113,7 @@ class Schedule:
             self._t100 += 1
         self._makespan = max(self._makespan, plan.finish)
         self._ready.discard(plan.task)
+        self._ready_sorted = None
         self._unmapped.discard(plan.task)
         for child in self.scenario.dag.children[plan.task]:
             self._parent_epoch[child] += 1
@@ -1097,6 +1168,7 @@ class Schedule:
             self._ready.discard(child)
         if self._unmapped_parents[task] == 0:
             self._ready.add(task)
+        self._ready_sorted = None
         return a
 
     def debit_external(self, j: int, energy: float) -> None:
@@ -1128,5 +1200,5 @@ class Schedule:
             "tec": self.total_energy_consumed,
             "tse": self.total_system_energy,
             "complete": self.is_complete,
-            "within_tau": self._makespan <= self.scenario.tau + 1e-9,
+            "within_tau": self._makespan <= self.scenario.tau + EPSILON,
         }

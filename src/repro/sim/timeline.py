@@ -88,6 +88,12 @@ class IntervalTimeline:
         still committed at or beyond *t*)."""
         return bool(self._busy) and self._busy[-1][1] > t + _EPS
 
+    def last_busy_end(self) -> float:
+        """End of the last busy interval (``-inf`` when empty) — the fact
+        :meth:`has_work_at_or_after` tests against, exposed so callers can
+        hoist it out of per-tick loops while the calendar is static."""
+        return self._busy[-1][1] if self._busy else float("-inf")
+
     def earliest_gap(
         self,
         duration: float,

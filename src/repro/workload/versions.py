@@ -15,6 +15,7 @@ to every outgoing data item.
 from __future__ import annotations
 
 import enum
+from typing import TYPE_CHECKING
 
 #: Fraction of primary time/energy/output-data used by the secondary version.
 SECONDARY_FRACTION: float = 0.1
@@ -26,19 +27,34 @@ class Version(enum.Enum):
     PRIMARY = "primary"
     SECONDARY = "secondary"
 
-    @property
-    def scale(self) -> float:
-        """Multiplier applied to primary execution time and output data."""
-        return 1.0 if self is Version.PRIMARY else SECONDARY_FRACTION
+    if TYPE_CHECKING:
+        # At runtime these are plain per-member attributes (set below):
+        # ``scale`` and ``counts_toward_t100`` sit in planning inner loops
+        # where a property's descriptor call is measurable.
+        @property
+        def scale(self) -> float:
+            """Multiplier applied to primary execution time and output data."""
+            ...
 
-    @property
-    def counts_toward_t100(self) -> bool:
-        """Only primary executions count toward ``T100``."""
-        return self is Version.PRIMARY
+        @property
+        def counts_toward_t100(self) -> bool:
+            """Only primary executions count toward ``T100``."""
+            ...
+
+    # Enum equality is identity, but the default ``Enum.__hash__`` is a
+    # Python-level method — every memo-dict probe keyed by a Version pays
+    # it.  Identity hashing is equivalent (members are singletons) and
+    # runs in C.
+    __hash__ = object.__hash__
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+
+Version.PRIMARY.scale = 1.0  # type: ignore[misc]
+Version.SECONDARY.scale = SECONDARY_FRACTION  # type: ignore[misc]
+Version.PRIMARY.counts_toward_t100 = True  # type: ignore[misc]
+Version.SECONDARY.counts_toward_t100 = False  # type: ignore[misc]
 
 PRIMARY = Version.PRIMARY
 SECONDARY = Version.SECONDARY

@@ -1,20 +1,28 @@
 """The scheduling kernel: mode resolution, pool-delta equivalence, and the
-byte-identity differential between incremental and rebuild modes.
+byte-identity differential between the columnar, incremental and rebuild
+modes.
 
-The incremental candidate pool is an optimisation with a proof obligation:
-for every heuristic, under any event sequence, the mapping it produces must
-be byte-identical to the from-scratch rebuild path (the differential
-oracle, ``REPRO_KERNEL=rebuild``).  These tests pin that obligation three
-ways — a Hypothesis property test equating :meth:`CandidatePool.pool_for`
-with :func:`build_candidate_pool` under random commit/advance/churn
-interleavings, whole-mapping byte identity for all six registry
-heuristics, and a churn replay driven through one persistent kernel.
+The maintained candidate pools are optimisations with a proof obligation:
+for every heuristic, under any event sequence, the mapping they produce
+must be byte-identical to the from-scratch rebuild path (the differential
+oracle, ``REPRO_KERNEL=rebuild``) — and the columnar pool must additionally
+replicate the incremental pool's ``pool.*`` counters, since it claims the
+same maintenance discipline.  These tests pin those obligations three ways
+— a Hypothesis property test equating :meth:`ColumnarPool.pool_for` and
+:meth:`CandidatePool.pool_for` with :func:`build_candidate_pool` under
+random commit/advance/churn interleavings, whole-mapping byte identity for
+all six registry heuristics, and a churn replay driven through one
+persistent kernel.
 """
+
+import math
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.columnar import ColumnarPool
+from repro.core.constants import EPSILON
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.kernel import (
     KERNEL_MODES,
@@ -29,6 +37,7 @@ from repro.core.slrh import SLRH1, SLRH2, SLRH3, SlrhConfig
 from repro.heuristics import HEURISTIC_NAMES, run_heuristic
 from repro.io.serialization import canonical_mapping_bytes
 from repro.sim.churn import ChurnEvent, run_with_churn
+from repro.sim.clock import SimulationClock
 from repro.sim.schedule import Schedule
 from repro.workload.scenario import (
     generate_scenario,
@@ -50,9 +59,9 @@ def _scenario(n: int, seed: int):
 
 
 class TestModeResolution:
-    def test_default_is_incremental(self, monkeypatch):
+    def test_default_is_columnar(self, monkeypatch):
         monkeypatch.delenv("REPRO_KERNEL", raising=False)
-        assert resolve_kernel_mode() == "incremental"
+        assert resolve_kernel_mode() == "columnar"
 
     def test_env_selects_mode(self, monkeypatch):
         monkeypatch.setenv("REPRO_KERNEL", "rebuild")
@@ -70,6 +79,8 @@ class TestModeResolution:
             ("full", "rebuild"), ("oracle", "rebuild"),
             ("0", "rebuild"), ("off", "rebuild"),
             ("Rebuild", "rebuild"), (" incremental ", "incremental"),
+            ("col", "columnar"), ("flat", "columnar"),
+            ("Columnar", "columnar"), (" columnar ", "columnar"),
         ],
     )
     def test_aliases(self, alias, mode):
@@ -111,8 +122,8 @@ class TestConstruction:
         with pytest.raises(ValueError, match="machine_order"):
             SchedulingKernel(schedule, None, None, machine_order="alphabetical")
 
-    def test_modes_constant_covers_both_paths(self):
-        assert KERNEL_MODES == ("incremental", "rebuild")
+    def test_modes_constant_covers_all_paths(self):
+        assert KERNEL_MODES == ("columnar", "incremental", "rebuild")
 
     def test_map_rejects_foreign_kernel(self, tiny_scenario):
         scheduler = SLRH1(SlrhConfig(weights=_WEIGHTS))
@@ -142,31 +153,54 @@ def _pool_key(pool):
     ]
 
 
+#: The pool counters the columnar path must replicate exactly — they pin
+#: "same maintenance discipline", not just "same answer".
+_POOL_COUNTERS = ("pool.builds", "pool.reuse_hits", "pool.invalidations", "pool.members")
+
+
+def _pool_counter_snapshot(schedule):
+    perf = schedule.perf.snapshot()
+    return tuple(perf.get(key, 0) for key in _POOL_COUNTERS)
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=5),
     n=st.sampled_from([8, 12, 16]),
     data=st.data(),
 )
-def test_incremental_pool_matches_rebuild_under_random_events(seed, n, data):
+def test_maintained_pools_match_rebuild_under_random_events(seed, n, data):
     """THE kernel property: after any interleaving of commits, clock
-    advances, and churn-style invalidations, the delta-maintained pool is
-    identical — members, plans, scores, order — to a from-scratch build."""
+    advances, and churn-style invalidations, both maintained pools —
+    object-incremental and columnar — are identical (members, plans,
+    scores, order, wake-up hint) to a from-scratch build, and the columnar
+    pool's reuse/invalidation/member counters match the incremental
+    pool's delta for delta."""
     scenario = _scenario(n, seed)
     schedule = Schedule(scenario)
     checker = FeasibilityChecker(scenario)
     objective = ObjectiveFunction.for_scenario(scenario, _WEIGHTS)
     pool = CandidatePool(schedule, checker, objective)
+    cpool = ColumnarPool(schedule, checker, objective)
     n_machines = scenario.n_machines
     offline: set[int] = set()
     nb = 0.0
 
     def check(machine: int) -> list:
-        incremental, _ = pool.pool_for(machine, nb)
+        before = _pool_counter_snapshot(schedule)
+        incremental, release_inc = pool.pool_for(machine, nb)
+        mid = _pool_counter_snapshot(schedule)
+        columnar, release_col = cpool.pool_for(machine, nb)
+        after = _pool_counter_snapshot(schedule)
         oracle = build_candidate_pool(
             schedule, checker, objective, machine, not_before=nb
         )
         assert _pool_key(incremental) == _pool_key(oracle)
+        assert _pool_key(columnar) == _pool_key(oracle)
+        assert release_col == release_inc
+        inc_delta = tuple(m - b for m, b in zip(mid, before))
+        col_delta = tuple(a - m for a, m in zip(after, mid))
+        assert col_delta == inc_delta
         return incremental
 
     actions = data.draw(
@@ -187,6 +221,7 @@ def test_incremental_pool_matches_rebuild_under_random_events(seed, n, data):
                 )].plan
                 schedule.commit(plan)
                 pool.note_commit(plan)
+                cpool.note_commit(plan)
         elif action == "advance":
             nb += data.draw(st.floats(min_value=0.5, max_value=400.0))
         elif action == "churn":
@@ -198,6 +233,7 @@ def test_incremental_pool_matches_rebuild_under_random_events(seed, n, data):
                 offline.add(machine)
                 schedule.set_offline(machine, True)
             pool.invalidate_all()
+            cpool.invalidate_all()
     # Final sweep: every online machine agrees with the oracle.
     for machine in range(n_machines):
         if machine not in offline:
@@ -224,10 +260,9 @@ class TestByteIdentity:
             mode: _map_with_mode(name, small_scenario, mode, monkeypatch)
             for mode in KERNEL_MODES
         }
-        inc, reb = results["incremental"], results["rebuild"]
-        assert canonical_mapping_bytes(inc.schedule) == canonical_mapping_bytes(
-            reb.schedule
-        )
+        oracle = canonical_mapping_bytes(results["rebuild"].schedule)
+        assert canonical_mapping_bytes(results["incremental"].schedule) == oracle
+        assert canonical_mapping_bytes(results["columnar"].schedule) == oracle
 
     @pytest.mark.parametrize("cls", [SLRH1, SLRH2, SLRH3])
     def test_slrh_trace_counters_identical_across_modes(self, cls, small_scenario):
@@ -235,11 +270,12 @@ class TestByteIdentity:
         for mode in KERNEL_MODES:
             cfg = SlrhConfig(weights=_WEIGHTS, kernel=mode)
             traces[mode] = cls(cfg).map(small_scenario).trace
-        inc, reb = traces["incremental"], traces["rebuild"]
-        assert (inc.ticks, inc.machine_scans, inc.empty_pool_ticks) == (
-            reb.ticks, reb.machine_scans, reb.empty_pool_ticks
-        )
-        assert inc.records == reb.records
+        reb = traces["rebuild"]
+        oracle = (reb.ticks, reb.machine_scans, reb.empty_pool_ticks)
+        for mode in ("incremental", "columnar"):
+            got = traces[mode]
+            assert (got.ticks, got.machine_scans, got.empty_pool_ticks) == oracle
+            assert got.records == reb.records
 
     @pytest.mark.parametrize("order", ["battery", "round_robin"])
     def test_machine_order_variants_identical_across_modes(
@@ -252,14 +288,33 @@ class TestByteIdentity:
                 SLRH2(cfg).map(small_scenario).schedule
             )
         assert mappings["incremental"] == mappings["rebuild"]
+        assert mappings["columnar"] == mappings["rebuild"]
 
-    def test_incremental_kernel_actually_reuses_entries(self, small_scenario):
-        result = SLRH1(SlrhConfig(weights=_WEIGHTS, kernel="incremental")).map(
+    @pytest.mark.parametrize("mode", ["incremental", "columnar"])
+    def test_maintained_kernels_actually_reuse_entries(self, mode, small_scenario):
+        result = SLRH1(SlrhConfig(weights=_WEIGHTS, kernel=mode)).map(
             small_scenario
         )
         perf = result.trace.perf
         assert perf.get("pool.reuse_hits", 0) > 0
         assert perf.get("pool.invalidations", 0) > 0
+
+    @pytest.mark.parametrize("cls", [SLRH1, SLRH2, SLRH3])
+    def test_pool_counters_identical_between_maintained_modes(
+        self, cls, small_scenario
+    ):
+        """Columnar must replan exactly the same dirty entries as the
+        incremental pool: its speedup comes from constant factors, never
+        from doing less maintenance work."""
+        perfs = {}
+        for mode in ("incremental", "columnar"):
+            result = cls(SlrhConfig(weights=_WEIGHTS, kernel=mode)).map(
+                small_scenario
+            )
+            perfs[mode] = result.trace.perf
+        for key in ("pool.builds", "pool.reuse_hits",
+                    "pool.invalidations", "pool.members"):
+            assert perfs["columnar"].get(key, 0) == perfs["incremental"].get(key, 0)
 
     def test_ledger_contents_match_rebuild(self, small_scenario):
         """A ledgered run (forced onto the rebuild path) must report the
@@ -295,18 +350,118 @@ class TestChurnDifferential:
             outcomes[mode] = run_with_churn(
                 small_scenario, scheduler, list(self._EVENTS)
             )
-        inc, reb = outcomes["incremental"], outcomes["rebuild"]
-        assert canonical_mapping_bytes(inc.final.schedule) == (
-            canonical_mapping_bytes(reb.final.schedule)
-        )
-        assert inc.records == reb.records
-        assert inc.final.trace.records == reb.final.trace.records
-        assert (
-            inc.final.trace.ticks,
-            inc.final.trace.machine_scans,
-            inc.final.trace.empty_pool_ticks,
-        ) == (
+        reb = outcomes["rebuild"]
+        oracle_bytes = canonical_mapping_bytes(reb.final.schedule)
+        oracle_counters = (
             reb.final.trace.ticks,
             reb.final.trace.machine_scans,
             reb.final.trace.empty_pool_ticks,
         )
+        for mode in ("incremental", "columnar"):
+            got = outcomes[mode]
+            assert canonical_mapping_bytes(got.final.schedule) == oracle_bytes
+            assert got.records == reb.records
+            assert got.final.trace.records == reb.final.trace.records
+            assert (
+                got.final.trace.ticks,
+                got.final.trace.machine_scans,
+                got.final.trace.empty_pool_ticks,
+            ) == oracle_counters
+
+
+class TestSleepGate:
+    """Regression pin for the early-wake rounding bug: the legacy sleep
+    computation stored ``min_release - latency - 1e-9`` as a wake *time*,
+    and the two chained subtractions could round that threshold below the
+    release gate's own arithmetic ``release > (now + latency) + EPSILON``.
+    A machine then woke one tick early and burned a pool build on a gate
+    that was still closed.  The constants below are a concrete float
+    counterexample (cycle 22 at 0.1 s/cycle, latency of 3 cycles)."""
+
+    _CS = 0.1
+    _CYCLE = 22
+    _LAT = 3 * 0.1  # 0.30000000000000004
+    _RELEASE = 2.5000000010000005
+
+    def test_counterexample_splits_the_two_formulas(self):
+        """At the pinned instant the legacy wake formula says 'serve' while
+        the release gate the serve would actually apply is still closed."""
+        now = self._CYCLE * self._CS
+        legacy_wake = self._RELEASE - self._LAT - 1e-9
+        assert now >= legacy_wake  # legacy sleep state: machine wakes
+        # ...but the pool's release gate rejects the task at this instant:
+        assert self._RELEASE > (now + self._LAT) + EPSILON
+
+    def test_kernel_asleep_uses_gate_arithmetic(self):
+        """`_asleep` evaluates the raw release time with the gate's own
+        arithmetic: still asleep at the counterexample instant, awake once
+        the gate genuinely opens."""
+        scenario = _scenario(8, 0)
+        schedule = Schedule(scenario)
+        checker = FeasibilityChecker(scenario)
+        objective = ObjectiveFunction.for_scenario(scenario, _WEIGHTS)
+        kernel = SchedulingKernel(
+            schedule,
+            checker,
+            objective,
+            mode="columnar",
+            decision_latency_seconds=self._LAT,
+        )
+        kernel._wake_release[0] = self._RELEASE
+        kernel._wake_ready[0] = math.inf
+        asleep_clock = SimulationClock(
+            delta_t_cycles=10, horizon_cycles=100,
+            cycle_seconds=self._CS, cycle=self._CYCLE,
+        )
+        assert kernel._asleep(0, asleep_clock)
+        awake_clock = SimulationClock(
+            delta_t_cycles=10, horizon_cycles=100,
+            cycle_seconds=self._CS, cycle=25,
+        )
+        assert not kernel._asleep(0, awake_clock)
+
+    def test_wake_all_resets_both_event_times(self):
+        scenario = _scenario(8, 0)
+        schedule = Schedule(scenario)
+        checker = FeasibilityChecker(scenario)
+        objective = ObjectiveFunction.for_scenario(scenario, _WEIGHTS)
+        kernel = SchedulingKernel(schedule, checker, objective, mode="incremental")
+        kernel._wake_release[1] = 99.0
+        kernel._wake_ready[1] = 99.0
+        kernel._wake_all()
+        clock = SimulationClock()
+        assert not kernel._asleep(1, clock)
+        assert kernel._wake_release[1] == -math.inf
+        assert kernel._wake_ready[1] == -math.inf
+
+
+class TestReleaseTimesDifferential:
+    """generate_scenario leaves arrivals at 0.0; attaching staggered release
+    times exercises the sleep/wake path (machines provably idle until the
+    next arrival) — all three kernels must still agree byte for byte,
+    including the tick counters the columnar fast-forward bulk-adds."""
+
+    @pytest.mark.parametrize("cls", [SLRH1, SLRH2, SLRH3])
+    def test_staggered_releases_identical_across_modes(self, cls, small_scenario):
+        n = small_scenario.n_tasks
+        releases = [(task % 7) * 1.5 + (task % 3) * 0.1 for task in range(n)]
+        scenario = small_scenario.with_release_times(releases)
+        results = {}
+        for mode in KERNEL_MODES:
+            results[mode] = cls(SlrhConfig(weights=_WEIGHTS, kernel=mode)).map(
+                scenario
+            )
+        reb = results["rebuild"]
+        oracle = canonical_mapping_bytes(reb.schedule)
+        oracle_counters = (
+            reb.trace.ticks, reb.trace.machine_scans, reb.trace.empty_pool_ticks
+        )
+        for mode in ("incremental", "columnar"):
+            got = results[mode]
+            assert canonical_mapping_bytes(got.schedule) == oracle
+            assert got.trace.records == reb.trace.records
+            assert (
+                got.trace.ticks,
+                got.trace.machine_scans,
+                got.trace.empty_pool_ticks,
+            ) == oracle_counters

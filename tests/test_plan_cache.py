@@ -112,8 +112,27 @@ class TestDifferential:
         )
         assert reused > 0, "cache-on run never reused a plan"
         assert "plan.cache.pair_hit" not in perf_off
+        assert "plan.cache.comm_hit" not in perf_off
+
+    def test_cache_plans_fewer_pairs_incremental(
+        self, small_scenario, mid_weights
+    ):
+        # The pair layer is an object-pool feature: the columnar kernel
+        # supersedes it with its fact columns (every dirty slot re-plans,
+        # reuse shows up as comm hits instead), so the pair-count
+        # inequality is pinned on the incremental kernel explicitly.
+        res_on = SLRH3(
+            SlrhConfig(
+                weights=mid_weights, plan_cache=True, kernel="incremental"
+            )
+        ).map(small_scenario)
+        res_off = SLRH3(
+            SlrhConfig(
+                weights=mid_weights, plan_cache=False, kernel="incremental"
+            )
+        ).map(small_scenario)
         # Off-path plans every lookup from scratch; on-path must plan fewer.
-        assert perf_on["plan.pairs"] < perf_off["plan.pairs"]
+        assert res_on.perf["plan.pairs"] < res_off.perf["plan.pairs"]
 
 
 class TestCacheKnobs:

@@ -116,3 +116,60 @@ class TestBuildPool:
             ]
 
         assert build() == build()
+
+
+class TestLedgerCompleteness:
+    """Every plan that loses the version selection must land in the ledger.
+
+    The old implementation kept a single ``loser`` slot, so with three or
+    more plans in flight an intermediate dethroned best silently vanished
+    from the rejection trail.  These tests synthesise a >2-plan selection
+    by doubling ``plan_versions`` and scripting the scores."""
+
+    def _run(self, parts, tiny_scenario, monkeypatch, scores):
+        from repro.obs.ledger import LOST_ON_SCORE, DecisionLedger
+
+        schedule, _, objective = parts
+        root = tiny_scenario.dag.roots[0]
+        original = type(schedule).plan_versions
+        monkeypatch.setattr(
+            type(schedule),
+            "plan_versions",
+            lambda self, *a, **kw: original(self, *a, **kw) * 2,
+        )
+        it = iter(scores)
+        monkeypatch.setattr(
+            type(objective), "after_plan", lambda self, sched, plan: next(it)
+        )
+        ledger = DecisionLedger()
+        best = evaluate_versions(
+            schedule, objective, root, 0, not_before=0.0, ledger=ledger
+        )
+        lost = [r for r in ledger.records if r.reason == LOST_ON_SCORE]
+        return best, lost
+
+    def test_every_dethroned_best_is_recorded(
+        self, parts, tiny_scenario, monkeypatch
+    ):
+        """Ascending scores: each plan dethrones the previous best; all
+        three intermediate bests must be ledgered against the final winner."""
+        best, lost = self._run(
+            parts, tiny_scenario, monkeypatch, [1.0, 2.0, 3.0, 4.0]
+        )
+        assert best is not None and best.score == 4.0
+        assert len(lost) == 3
+        assert [r.margin for r in lost] == [3.0, 2.0, 1.0]
+        assert [r.score for r in lost] == [1.0, 2.0, 3.0]
+        assert all(r.version is not None for r in lost)
+
+    def test_every_outscored_plan_is_recorded(
+        self, parts, tiny_scenario, monkeypatch
+    ):
+        """Descending scores: the first plan wins outright; every later
+        plan is an outscored loser and must be ledgered."""
+        best, lost = self._run(
+            parts, tiny_scenario, monkeypatch, [4.0, 3.0, 2.0, 1.0]
+        )
+        assert best is not None and best.score == 4.0
+        assert len(lost) == 3
+        assert [r.margin for r in lost] == [1.0, 2.0, 3.0]

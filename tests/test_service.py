@@ -324,8 +324,13 @@ class TestHTTPSurface:
             assert status == 202
             status, headers, body = _post(base, "/v1/map", payload)
             assert status == 429
+            # RFC 9110 delta-seconds: a plain decimal string, no float repr.
+            assert headers["Retry-After"].isdigit()
             assert int(headers["Retry-After"]) >= 1
-            assert json.loads(body)["queue_depth"] == 1
+            doc = json.loads(body)
+            assert doc["queue_depth"] == 1
+            # Body keeps the integer too — loadgen backs off on this field.
+            assert doc["retry_after"] == int(headers["Retry-After"])
             # Draining rejects with 503, not 429.
             manager.start()
             assert manager.drain(timeout=120)
@@ -336,6 +341,36 @@ class TestHTTPSurface:
             thread.join(timeout=10)
             server.server_close()
             manager.close(drain_timeout=0)
+
+
+class TestRetryAfterHeaderType:
+    """The 429 Retry-After header must hit the wire as RFC 9110
+    delta-seconds — a decimal string — regardless of how the queue's
+    integer estimate reaches the handler, and the same integer must stay
+    in the JSON body for clients that back off on ``retry_after``."""
+
+    @pytest.mark.parametrize("estimate,expected", [(7, "7"), (12.0, "12")])
+    def test_error_serialises_retry_after_at_the_boundary(
+        self, estimate, expected
+    ):
+        import io
+
+        from repro.service.app import ServiceHandler
+
+        handler = object.__new__(ServiceHandler)
+        sent: dict[str, object] = {}
+        handler.send_response = lambda status: None  # type: ignore[method-assign]
+        handler.send_header = (  # type: ignore[method-assign]
+            lambda name, value: sent.__setitem__(name, value)
+        )
+        handler.end_headers = lambda: None  # type: ignore[method-assign]
+        handler.wfile = io.BytesIO()  # type: ignore[assignment]
+        handler._error(429, "job queue full", retry_after=estimate, queue_depth=3)
+        assert sent["Retry-After"] == expected
+        assert isinstance(sent["Retry-After"], str)
+        body = json.loads(handler.wfile.getvalue())
+        assert body["retry_after"] == estimate
+        assert body["queue_depth"] == 3
 
 
 # ---------------------------------------------------------------------------
