@@ -41,10 +41,23 @@ class GreedyScheduler:
     def __init__(self, insertion: bool = True) -> None:
         self.insertion = insertion
 
-    def map(self, scenario: Scenario) -> MappingResult:
-        schedule = Schedule(scenario)
+    def map(
+        self, scenario: Scenario, schedule: Schedule | None = None
+    ) -> MappingResult:
+        """Map *scenario* from scratch, or finish a partially-built
+        *schedule* (the session engine's final-state mapping after grid
+        events): already-mapped subtasks are skipped, everything else is
+        assigned against the schedule's current calendars and budgets."""
+        if schedule is None:
+            schedule = Schedule(scenario)
+        elif schedule.scenario is not scenario:
+            raise ValueError("schedule was built for a different scenario")
         trace = MappingTrace()
-        topo = iter(scenario.dag.topological_order)
+        topo = iter(
+            t
+            for t in scenario.dag.topological_order
+            if t not in schedule.assignments
+        )
 
         def select() -> tuple:
             """MCT plan for the next subtask in topological order (``None``

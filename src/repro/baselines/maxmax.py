@@ -69,8 +69,15 @@ class MaxMaxScheduler:
     def __init__(self, config: MaxMaxConfig) -> None:
         self.config = config
 
-    def map(self, scenario: Scenario) -> MappingResult:
-        schedule = Schedule(scenario, plan_cache=self.config.plan_cache)
+    def map(
+        self, scenario: Scenario, schedule: Schedule | None = None
+    ) -> MappingResult:
+        """Map *scenario* from scratch, or finish a partially-built
+        *schedule* (the session engine's final-state mapping)."""
+        if schedule is None:
+            schedule = Schedule(scenario, plan_cache=self.config.plan_cache)
+        elif schedule.scenario is not scenario:
+            raise ValueError("schedule was built for a different scenario")
         checker = FeasibilityChecker(scenario, comm_reserve=self.config.comm_reserve)
         objective = ObjectiveFunction.for_scenario(
             scenario, self.config.weights, aet_mode=self.config.aet_mode

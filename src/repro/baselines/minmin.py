@@ -48,8 +48,15 @@ class MinMinScheduler:
                 break  # affordable primary: skip secondary
         return best
 
-    def map(self, scenario: Scenario) -> MappingResult:
-        schedule = Schedule(scenario)
+    def map(
+        self, scenario: Scenario, schedule: Schedule | None = None
+    ) -> MappingResult:
+        """Map *scenario* from scratch, or finish a partially-built
+        *schedule* (the session engine's final-state mapping)."""
+        if schedule is None:
+            schedule = Schedule(scenario)
+        elif schedule.scenario is not scenario:
+            raise ValueError("schedule was built for a different scenario")
         trace = MappingTrace()
 
         def select() -> tuple:

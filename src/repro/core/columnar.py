@@ -152,10 +152,10 @@ class ColumnarPool:
         self._dep_n = array("i", [0]) * size
         # Per-machine event counters (see CandidatePool._touch).
         self._touch = array("q", [0]) * n_machines
-        # Release-time column: static scenario facts, hoisted once.
-        self._release = array(
-            "d", [scenario.release(t) for t in range(n_tasks)]
-        )
+        # Release-time column: the schedule's *live* per-task release list
+        # (streamed arrivals move entries in place), aliased rather than
+        # copied so the pool never reads a stale release.
+        self._release = schedule.release_times_view()
         # Lazily-materialised plan payloads per slot: ``[primary_plan |
         # None, secondary_plan | None, comms]``.  The fused replan builds
         # only the winning version's ExecutionPlan; the loser is rebuilt
@@ -203,6 +203,40 @@ class ColumnarPool:
             kind[idx] = _EMPTY
             pairs[idx] = None
             cands[idx] = None
+
+    def note_release(self, task: int) -> None:
+        """A streamed arrival moved *task*'s release time: retire its
+        slots.  (A held task is release-gated out of every pool, so they
+        should all be empty — clearing is defensive symmetry with
+        :meth:`note_commit`.)  Other tasks' slots never read a neighbour's
+        release, so they survive — the precise delta that lets a session
+        keep its pool across arrivals."""
+        kind = self._kind
+        pairs = self._pairs
+        cands = self._cands
+        n_tasks = self._n_tasks
+        for m in range(self._n_machines):
+            idx = m * n_tasks + task
+            kind[idx] = _EMPTY
+            pairs[idx] = None
+            cands[idx] = None
+
+    def note_machine_return(self, machine: int) -> None:
+        """A lost machine rejoined the grid: fresh touch epoch plus a
+        clean slot block, so certificates minted while it was offline (or
+        before it left) can never validate against its new state.  Other
+        machines' slots keep their stamps — *machine*'s bumped counter
+        retires exactly the entries that depended on it."""
+        self._touch[machine] += 1
+        kind = self._kind
+        pairs = self._pairs
+        cands = self._cands
+        base = machine * self._n_tasks
+        for idx in range(base, base + self._n_tasks):
+            kind[idx] = _EMPTY
+            pairs[idx] = None
+            cands[idx] = None
+        self._agg = None
 
     def pool_for(
         self, machine: int, not_before: float, tracer: Tracer | NullTracer = NULL_TRACER

@@ -212,6 +212,31 @@ class CandidatePool:
             per_machine.clear()
         self._agg = None
 
+    def note_release(self, task: int) -> None:
+        """A streamed arrival moved *task*'s release time: retire its
+        entries.  (A held task is release-gated out of every pool, so none
+        should exist — clearing is defensive symmetry with
+        :meth:`note_commit`.)  Entries for other tasks never read a
+        neighbour's release, so they survive untouched — this is the
+        precise delta that lets a session keep its pool across arrivals."""
+        for per_machine in self._entries:
+            per_machine.pop(task, None)
+
+    def note_machine_return(self, machine: int) -> None:
+        """A lost machine rejoined the grid: give it a fresh touch epoch.
+
+        Bumping the counter dirties every surviving entry whose plans read
+        *machine* (their stamps no longer match), and clearing the
+        machine's own entry table forces its pools to be re-derived from
+        the post-rejoin grid instead of any pre-loss leftovers.  Without
+        the bump a rejoin is invisible to the certificate scheme — touch
+        counters only ever move on commits — so stale entries could
+        survive the offline window (pinned against the rebuild oracle by
+        ``tests/test_session.py``)."""
+        self._touch[machine] += 1
+        self._entries[machine].clear()
+        self._agg = None
+
     def note_commit(self, plan: ExecutionPlan) -> None:
         """Record a commit's footprint: bump the touch counter of every
         machine it mutated and retire the committed task's entries."""
@@ -253,7 +278,6 @@ class CandidatePool:
         entries = self._entries[machine]
         touch = self._touch
         epochs = schedule.parent_epochs()
-        scenario = schedule.scenario
         objective = self.objective
         checker = self.checker
         pool: list[Candidate] = []
@@ -264,9 +288,10 @@ class CandidatePool:
             if tracer.enabled
             else NULL_SPAN
         )
+        release_times = schedule.release_times_view()
         with span, perf.timer("phase.pool_seconds"):
             for task in schedule.ready_tasks():
-                release = scenario.release(task)
+                release = release_times[task]
                 if release > not_before + EPSILON:
                     if min_release is None or release < min_release:
                         min_release = release
@@ -427,6 +452,37 @@ class SchedulingKernel:
             and self._wake_ready[j] > clock.horizon_end + EPSILON
         )
 
+    # -- precise event deltas (streaming sessions) --------------------------
+    #
+    # A caller that mutates the schedule between runs normally relies on
+    # the unconditional re-base at run entry (invalidate_all + wake).  The
+    # session engine instead reports each event through one of these hooks
+    # and runs with ``rebase=False``, keeping every pool entry the event
+    # provably did not touch — mappings stay byte-identical to the rebuild
+    # oracle (pinned by tests/test_session.py), only the reuse rate moves.
+
+    def note_arrival(self, task: int) -> None:
+        """A streamed task arrival: its release moved, nothing else did.
+        Existing entries never read another task's release, so the pool
+        keeps them; sleeping machines must re-check their release gates."""
+        if self.pool is not None:
+            self.pool.note_release(task)
+            self._wake_all()
+
+    def note_rejoin(self, machine: int) -> None:
+        """A lost machine rejoined: fresh touch epoch for it (see
+        ``note_machine_return``), and everyone wakes to reconsider it."""
+        if self.pool is not None:
+            self.pool.note_machine_return(machine)
+            self._wake_all()
+
+    def note_disturbance(self) -> None:
+        """An event with no precise delta (machine loss: rollbacks,
+        offline flip, external debits) — the big hammer."""
+        if self.pool is not None:
+            self.pool.invalidate_all()
+            self._wake_all()
+
     def run(
         self,
         policy: TickPolicy,
@@ -434,6 +490,7 @@ class SchedulingKernel:
         trace: MappingTrace,
         *,
         max_ticks: int,
+        rebase: bool = True,
         stop_cycle: int | None = None,
         tracer=NULL_TRACER,
     ) -> None:
@@ -441,10 +498,12 @@ class SchedulingKernel:
         tick cap — mutating *clock*, the schedule and *trace* in place."""
         schedule = self.schedule
         scenario = schedule.scenario
-        if self.pool is not None:
+        if rebase and self.pool is not None:
             # Re-base against anything that happened outside a run (churn
             # rollbacks, offline flips, external debits) — events inside a
-            # run flow through note_commit.
+            # run flow through note_commit.  Streaming sessions pass
+            # ``rebase=False`` after reporting each event through the
+            # note_* hooks above, keeping the pool warm across segments.
             self.pool.invalidate_all()
             self._wake_all()
         tracing = tracer.enabled

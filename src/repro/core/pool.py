@@ -222,8 +222,9 @@ def build_candidate_pool(
             for task in tasks:
                 # A subtask the grid has not yet *seen* (release time in the
                 # future) cannot enter the pool — the dynamic heuristic has no
-                # advance knowledge of it (§IV).
-                release = scenario.release(task)
+                # advance knowledge of it (§IV).  The schedule's live release
+                # list is the source of truth: streamed arrivals move it.
+                release = schedule.release(task)
                 if release > not_before + EPSILON:
                     if ledger is not None:
                         ledger.reject(

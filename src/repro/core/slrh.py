@@ -217,6 +217,7 @@ class SlrhScheduler:
         stop_cycle: int | None = None,
         tracer: Tracer | NullTracer | None = None,
         kernel: SchedulingKernel | None = None,
+        rebase: bool = True,
     ) -> MappingResult:
         """Run the heuristic to completion (or τ) on *scenario*.
 
@@ -242,6 +243,13 @@ class SlrhScheduler:
             to drive instead of building a fresh one — the churn engine
             keeps one kernel per schedule across segments.  Must have been
             built (via :meth:`make_kernel`) for this *schedule*.
+        rebase:
+            Whether the kernel re-bases its pool on entry (invalidate +
+            wake — safe against arbitrary outside mutation).  The session
+            engine passes ``False`` after reporting every grid event
+            through the kernel's precise ``note_*`` hooks, so the pool
+            stays warm across segments; mappings are byte-identical
+            either way.
         """
         cfg = self.config
         if tracer is None:
@@ -282,6 +290,7 @@ class SlrhScheduler:
                 trace,
                 max_ticks=max_ticks,
                 stop_cycle=stop_cycle,
+                rebase=rebase,
                 tracer=tracer,
             )
         if (

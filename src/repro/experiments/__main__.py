@@ -14,6 +14,10 @@ Usage::
 
     python -m repro.experiments explain LOG.ndjson --task T [--tick K]
 
+    python -m repro.experiments churn-sweep [--n-tasks N] [--delta-t 5,10,20]
+                                            [--horizons 50,100] [--rates 5,15,30]
+                                            [--out BENCH_churn.json]
+
 The report form prints every table and figure the paper reports (at the
 selected scale) and optionally writes the combined report to a file.
 Figures 3-7 share one cached weight-optimisation study, so requesting
@@ -232,6 +236,84 @@ def explain_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def churn_sweep_main(argv: list[str] | None = None) -> int:
+    """The ``churn-sweep`` subcommand: the replan-frequency study
+    (incremental streaming session vs per-event from-scratch mapping
+    over a ΔT × H × churn-rate grid) plus the 240-task gate cell;
+    prints the text figure and writes ``BENCH_churn.json``."""
+    import json as _json
+
+    from repro.experiments.churn_sweep import (
+        figure_churn,
+        measure_gate,
+        run_churn_sweep,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments churn-sweep",
+        description="Replan-frequency study: streaming-session speedup "
+        "over per-event from-scratch mapping, swept over ΔT x H x churn rate.",
+    )
+    parser.add_argument("--n-tasks", type=int, default=96,
+                        help="sweep scenario size (default 96)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--alpha", type=float, default=0.5)
+    parser.add_argument("--beta", type=float, default=0.2)
+    parser.add_argument("--delta-t", default="5,10,20",
+                        help="comma-separated ΔT values (cycles)")
+    parser.add_argument("--horizons", default="50,100",
+                        help="comma-separated horizon values (cycles)")
+    parser.add_argument("--rates", default="5,15,30",
+                        help="comma-separated churn rates (events per 100 cycles)")
+    parser.add_argument("--max-cycle", type=int, default=60,
+                        help="session close cycle (default 60)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repeats per cell (best-of; default 1)")
+    parser.add_argument("--gate-tasks", type=int, default=None,
+                        help="gate-cell scenario size (default 240; 0 skips "
+                        "the gate measurement)")
+    parser.add_argument("--out", default="benchmarks/BENCH_churn.json",
+                        help="artefact path ('-' disables)")
+    args = parser.parse_args(argv)
+    try:
+        delta_ts = tuple(int(v) for v in args.delta_t.split(",") if v.strip())
+        horizons = tuple(int(v) for v in args.horizons.split(",") if v.strip())
+        rates = tuple(float(v) for v in args.rates.split(",") if v.strip())
+    except ValueError:
+        parser.error("--delta-t/--horizons/--rates must be comma-separated numbers")
+    if not (delta_ts and horizons and rates):
+        parser.error("--delta-t/--horizons/--rates each need at least one value")
+
+    doc = run_churn_sweep(
+        n_tasks=args.n_tasks,
+        seed=args.seed,
+        alpha=args.alpha,
+        beta=args.beta,
+        delta_ts=delta_ts,
+        horizons=horizons,
+        rates=rates,
+        max_cycle=args.max_cycle,
+        repeats=args.repeats,
+    )
+    gate_tasks = args.gate_tasks
+    if gate_tasks != 0:
+        doc["gate"] = measure_gate(
+            seed=args.seed,
+            alpha=args.alpha,
+            beta=args.beta,
+            **({} if gate_tasks is None else {"n_tasks": gate_tasks}),
+            max_cycle=args.max_cycle,
+            repeats=args.repeats,
+        )
+    print(figure_churn(doc))
+    if args.out != "-":
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {out}")
+    return 0
+
+
 def build_report(scale, only: list[str]) -> str:
     parts: list[str] = [
         f"SLRH reproduction report — scale '{scale.name}' "
@@ -268,6 +350,8 @@ def main(argv: list[str] | None = None) -> int:
         return map_main(argv[1:])
     if argv and argv[0] == "explain":
         return explain_main(argv[1:])
+    if argv and argv[0] == "churn-sweep":
+        return churn_sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures "

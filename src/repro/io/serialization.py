@@ -133,31 +133,37 @@ def load_scenario(path: PathLike) -> Scenario:
 # -- mappings ---------------------------------------------------------------------
 
 
+def assignment_to_dict(a: ExecutionPlan) -> dict:
+    """Plain-dict form of one committed assignment — the per-task record
+    of :func:`mapping_to_dict`, and the exact ``assignment``-line document
+    of the NDJSON encodings (full streams *and* session deltas share it,
+    so a delta consumer reassembles byte-identical lines)."""
+    return {
+        "task": a.task,
+        "version": a.version.value,
+        "machine": a.machine,
+        "start": a.start,
+        "finish": a.finish,
+        "comms": [
+            {
+                "parent": c.parent,
+                "src": c.src,
+                "dst": c.dst,
+                "bits": c.bits,
+                "start": c.start,
+                "finish": c.finish,
+            }
+            for c in a.comms
+        ],
+    }
+
+
 def mapping_to_dict(schedule: Schedule) -> dict:
     """Plain-dict form of a schedule's committed assignments."""
-    assignments = []
-    for task in sorted(schedule.assignments):
-        a = schedule.assignments[task]
-        assignments.append(
-            {
-                "task": a.task,
-                "version": a.version.value,
-                "machine": a.machine,
-                "start": a.start,
-                "finish": a.finish,
-                "comms": [
-                    {
-                        "parent": c.parent,
-                        "src": c.src,
-                        "dst": c.dst,
-                        "bits": c.bits,
-                        "start": c.start,
-                        "finish": c.finish,
-                    }
-                    for c in a.comms
-                ],
-            }
-        )
+    assignments = [
+        assignment_to_dict(schedule.assignments[task])
+        for task in sorted(schedule.assignments)
+    ]
     return {
         "format": _FORMAT_VERSION,
         "kind": "mapping",
@@ -171,16 +177,24 @@ def mapping_from_dict(data: dict, scenario: Scenario) -> Schedule:
     """Reconstruct a :class:`Schedule` by replaying *data* onto *scenario*.
 
     Every assignment passes through :meth:`Schedule.commit`, so all model
-    invariants (precedence, channel capacity, energy, reserves) are
-    re-verified; energies and durations are re-derived from the scenario,
-    guarding against stale or tampered files.
+    invariants (precedence, channel capacity, energy) are re-verified;
+    energies and durations are re-derived from the scenario, guarding
+    against stale or tampered files.
+
+    The replay does *not* hold communication reserves: reserve
+    availability is a transient planning guard whose value depends on
+    commit order, and for a mapping produced under churn (rollbacks
+    released and re-held edge reserves along the live timeline) no static
+    replay order is guaranteed to satisfy it — while the energy *ledger*
+    is order-independent, so the real feasibility invariants still hold
+    step by step and are reconciled by ``validate_schedule`` at the end.
     """
     if data.get("kind") != "mapping":
         raise ValueError(f"not a mapping document (kind={data.get('kind')!r})")
     if data.get("format") != _FORMAT_VERSION:
         raise ValueError(f"unsupported mapping format {data.get('format')!r}")
     by_task = {int(rec["task"]): rec for rec in data["assignments"]}
-    schedule = Schedule(scenario)
+    schedule = Schedule(scenario, hold_comm_reserves=False)
     for task in scenario.dag.topological_order:
         rec = by_task.get(task)
         if rec is None:

@@ -23,6 +23,7 @@ DETERMINISM_SCOPES = (
     "repro.sim",
     "repro.baselines",
     "repro.workload",
+    "repro.session",
 )
 
 #: Wall-clock / entropy reads that poison byte-identical replay.

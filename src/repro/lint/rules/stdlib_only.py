@@ -28,7 +28,13 @@ from repro.lint.registry import register
 DECLARED_DEPS = frozenset({"numpy", "scipy", "networkx"})
 
 #: The layers that must import nothing outside the stdlib + repro.
-STDLIB_ONLY_SCOPES = ("repro.obs", "repro.service", "repro.perf", "repro.lint")
+STDLIB_ONLY_SCOPES = (
+    "repro.obs",
+    "repro.service",
+    "repro.perf",
+    "repro.lint",
+    "repro.session",
+)
 
 _STDLIB = frozenset(sys.stdlib_module_names)
 

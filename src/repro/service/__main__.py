@@ -13,6 +13,8 @@ Options::
     --jobs N|auto      mapping workers         (default $REPRO_JOBS or 1)
     --max-queue N      admission-control bound (default 64)
     --batch-max N      max requests per dispatch wave (default 2×jobs)
+    --max-sessions N   bound on live streaming sessions (default 64)
+    --session-idle S   idle seconds before a session is evicted
     --drain-grace S    max seconds to wait for drain on shutdown
     --obs-log PATH     structured NDJSON event log ('-' = stderr; default
                        $REPRO_OBS_LOG when set, else disabled)
@@ -30,6 +32,11 @@ from repro.obs.log import configure_from_env as obs_configure_from_env
 from repro.service.app import make_server
 from repro.service.jobs import JobManager
 from repro.service.registry import ScenarioRegistry
+from repro.service.sessions import (
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_MAX_SESSIONS,
+    SessionManager,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,6 +54,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="bounded job queue size (429 beyond it)")
     parser.add_argument("--batch-max", type=int, default=None,
                         help="max requests batched per dispatch wave")
+    parser.add_argument("--max-sessions", type=int, default=DEFAULT_MAX_SESSIONS,
+                        help="bound on live streaming sessions (429 beyond it)")
+    parser.add_argument("--session-idle", type=float, default=DEFAULT_IDLE_TIMEOUT,
+                        help="idle seconds before a streaming session is evicted")
     parser.add_argument("--drain-grace", type=float, default=30.0,
                         help="seconds to wait for in-flight jobs on shutdown")
     parser.add_argument("--verbose", action="store_true",
@@ -71,12 +82,23 @@ def main(argv: list[str] | None = None) -> int:
         )
     except ValueError as exc:
         parser.error(str(exc))
-    server = make_server(args.host, args.port, manager, quiet=not args.verbose)
+    try:
+        sessions = SessionManager(
+            registry,
+            max_sessions=args.max_sessions,
+            idle_timeout=args.session_idle,
+            perf=manager.perf,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    server = make_server(
+        args.host, args.port, manager, quiet=not args.verbose, sessions=sessions
+    )
     host, port = server.server_address[:2]
     print(
         f"repro.service listening on http://{host}:{port} "
         f"(jobs={manager.pool.n_jobs}, max-queue={manager.max_queue}, "
-        f"batch-max={manager.batch_max})",
+        f"batch-max={manager.batch_max}, max-sessions={sessions.max_sessions})",
         flush=True,
     )
 
@@ -96,6 +118,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         stop.wait()
     finally:
+        sessions.drain()  # stop session opens/events before the job drain
         drained = manager.drain(timeout=args.drain_grace)
         server.shutdown()
         serve_thread.join(timeout=10)

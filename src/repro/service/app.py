@@ -24,6 +24,31 @@ Routes (all bodies JSON; streaming endpoints NDJSON):
     a ``trace`` summary and a final ``done`` record.
 ``GET /v1/scenarios``
     Registered scenario ids.
+``POST /v1/session``
+    Open a live-grid streaming session on a registered scenario: one
+    persistent schedule (and, for the SLRH family, one persistent
+    scheduling kernel fed by precise event deltas) that survives across
+    requests.  The body names the scenario, heuristic, optional (α, β)
+    and — SLRH family only — ``delta_t_cycles`` / ``horizon_cycles`` /
+    ``kernel`` overrides plus a ``pending`` list of held task ids that
+    arrive later via ``task_arrival`` events.  429 when the bounded
+    session table is full, 503 while draining.
+``POST /v1/session/<id>/events``
+    Stream grid events in (NDJSON request body, one
+    :mod:`repro.session.events` document per line); mapping deltas
+    stream out (NDJSON response): per event one delta block — new or
+    changed assignments only, in the exact per-task encoding of the
+    full-mapping NDJSON stream — and after ``close`` a final footer.  A
+    rejected event yields one ``error`` record and ends the response;
+    the session itself survives (events apply atomically).
+``GET /v1/session/<id>``
+    Session status document (cursor, delta ``seq``, mapped count,
+    still-pending arrivals; final summary once closed).
+``GET /v1/session/<id>/result``
+    Canonical mapping JSON of a *closed* session (409 while open) —
+    byte-identical to an offline replay of the same event stream.
+``GET /v1/sessions``
+    Live session ids.
 ``GET /healthz``
     Liveness + drain state.
 ``GET /metrics``
@@ -55,6 +80,8 @@ from repro.obs.log import enabled as _obs_enabled
 from repro.obs.log import get_logger
 from repro.obs.prom import render_prometheus
 from repro.service.jobs import DrainingError, JobManager, QueueFullError
+from repro.service.sessions import SessionLimitError, SessionManager
+from repro.session import event_from_dict
 
 #: Seconds between NDJSON ``status`` heartbeats while a job is pending.
 EVENT_HEARTBEAT_SECONDS = 1.0
@@ -74,20 +101,35 @@ class ServiceServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, manager: JobManager, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        manager: JobManager,
+        quiet: bool = True,
+        sessions: SessionManager | None = None,
+    ):
         super().__init__(address, ServiceHandler)
         self.manager = manager
         self.registry = manager.registry
         self.quiet = quiet
+        self.sessions = (
+            sessions
+            if sessions is not None
+            else SessionManager(manager.registry, perf=manager.perf)
+        )
         self.started_at = time.monotonic()
 
 
 def make_server(
-    host: str, port: int, manager: JobManager, quiet: bool = True
+    host: str,
+    port: int,
+    manager: JobManager,
+    quiet: bool = True,
+    sessions: SessionManager | None = None,
 ) -> ServiceServer:
     """Bind a :class:`ServiceServer` (port 0 → ephemeral) and start the
     manager's dispatcher."""
-    server = ServiceServer((host, port), manager, quiet=quiet)
+    server = ServiceServer((host, port), manager, quiet=quiet, sessions=sessions)
     manager.start()
     return server
 
@@ -175,6 +217,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._post_scenarios()
             elif self.path == "/v1/map":
                 self._post_map()
+            elif self.path == "/v1/session":
+                self._post_session()
+            elif self.path.startswith("/v1/session/") and self.path.endswith(
+                "/events"
+            ):
+                self._post_session_events(
+                    self.path[len("/v1/session/"):-len("/events")]
+                )
             else:
                 self._error(404, f"no such endpoint {self.path!r}")
         except BrokenPipeError:  # client went away mid-response
@@ -267,6 +317,81 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 },
             )
 
+    def _post_session(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            session = self.server.sessions.open(body)
+        except SessionLimitError as exc:
+            self._error(
+                429, str(exc),
+                retry_after=exc.retry_after,
+                active_sessions=exc.active,
+            )
+            return
+        except DrainingError as exc:
+            self._error(503, str(exc))
+            return
+        except KeyError as exc:
+            self._error(404, str(exc.args[0] if exc.args else exc))
+            return
+        except (TypeError, ValueError, IndexError) as exc:
+            self._error(400, str(exc))
+            return
+        self._send_json(
+            201,
+            {
+                "session": session.id,
+                "scenario": session.scenario_id,
+                "heuristic": session.heuristic,
+                "pending": session.status_doc()["pending"],
+                "events_url": f"/v1/session/{session.id}/events",
+                "status_url": f"/v1/session/{session.id}",
+                "result_url": f"/v1/session/{session.id}/result",
+            },
+        )
+
+    def _post_session_events(self, session_id: str) -> None:
+        """Apply one NDJSON batch of grid events; stream delta blocks back."""
+        sessions = self.server.sessions
+        if sessions.draining:
+            self._error(503, "service is draining; not accepting session events")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        events = []
+        for lineno, line in enumerate(raw.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                events.append(event_from_dict(json.loads(line)))
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._error(400, f"bad event on line {lineno}: {exc}")
+                return
+        if not events:
+            self._error(400, "empty event batch (one NDJSON event per line)")
+            return
+        try:
+            session = sessions.get(session_id)
+        except KeyError:
+            self._error(404, f"no such session {session_id!r}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        for line in session.stream(events):
+            self.wfile.write(line)
+            self.wfile.flush()
+        if session.is_closed():
+            sessions.note_closed(session)
+
     # -- GET ---------------------------------------------------------------
 
     def do_GET(self) -> None:
@@ -279,8 +404,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._get_metrics(query)
             elif path == "/v1/scenarios":
                 self._send_json(200, {"scenarios": self.server.registry.ids()})
+            elif path == "/v1/sessions":
+                self._send_json(200, {"sessions": self.server.sessions.ids()})
             elif path.startswith("/v1/jobs/"):
                 self._get_job(path[len("/v1/jobs/"):])
+            elif path.startswith("/v1/session/"):
+                self._get_session(path[len("/v1/session/"):])
             else:
                 self._error(404, f"no such endpoint {self.path!r}")
         except BrokenPipeError:
@@ -298,8 +427,27 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "queue_depth": manager.queue_depth,
                 "inflight": manager.inflight,
                 "scenarios": len(self.server.registry),
+                "sessions": len(self.server.sessions),
             },
         )
+
+    def _get_session(self, tail: str) -> None:
+        session_id, _, verb = tail.partition("/")
+        try:
+            session = self.server.sessions.get(session_id)
+        except KeyError:
+            self._error(404, f"no such session {session_id!r}")
+            return
+        if verb == "":
+            self._send_json(200, session.status_doc())
+        elif verb == "result":
+            payload = session.result_bytes()
+            if payload is None:
+                self._error(409, f"session {session.id} is still open")
+            else:
+                self._send(200, payload, extra_headers={"X-Session-Id": session.id})
+        else:
+            self._error(404, f"no such session endpoint {verb!r}")
 
     def _wants_prometheus(self, query: str) -> bool:
         """Content negotiation for ``/metrics``: JSON unless the client asks

@@ -35,6 +35,13 @@ Usage::
 Without ``--url`` a service is booted in-process on an ephemeral port
 (with ``--jobs`` workers) and torn down afterwards, so the benchmark is
 one self-contained command.
+
+``--mode session`` switches to streaming-session clients: each client
+opens a ``/v1/session``, streams a deterministic synthesized grid-event
+mix (arrivals, losses, rejoins — :func:`repro.session.synthesize_events`,
+seeded per client) in NDJSON batches, and reads the mapping-delta blocks
+back; latency is per event batch and the artefact carries ``"mode":
+"session"`` plus events-per-second throughput.
 """
 
 from __future__ import annotations
@@ -62,6 +69,20 @@ def _post_json(base_url: str, path: str, doc: dict) -> tuple[int, bytes]:
         base_url + path,
         data=json.dumps(doc).encode("ascii"),
         headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=_HTTP_TIMEOUT) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _post_ndjson(base_url: str, path: str, lines: bytes) -> tuple[int, bytes]:
+    req = urllib.request.Request(
+        base_url + path,
+        data=lines,
+        headers={"Content-Type": "application/x-ndjson"},
         method="POST",
     )
     try:
@@ -169,6 +190,159 @@ def run_level(
     }
 
 
+def run_session_level(
+    base_url: str,
+    scenario,
+    scenario_id: str,
+    heuristic: str,
+    clients: int,
+    n_events: int,
+    batch: int,
+    max_cycle: int,
+    seed: int,
+) -> dict:
+    """One session-mode level: *clients* concurrent streaming sessions.
+
+    Each client opens its own session, synthesizes a deterministic mixed
+    event stream (seeded per client, so every run replays the same
+    sessions), posts it in NDJSON batches of *batch* events and reads the
+    delta blocks back; the last batch carries the ``close`` and must end
+    in a ``footer``.  Latency is per event batch.
+    """
+    from repro.session import synthesize_events
+
+    latencies = Histogram()
+    lock = threading.Lock()
+    errors = [0]
+    delta_lines = [0]
+
+    def client(index: int) -> None:
+        held, events = synthesize_events(
+            scenario,
+            seed=seed * 1000 + index,
+            n_events=n_events,
+            max_cycle=max_cycle,
+        )
+        status, body = _post_json(
+            base_url,
+            "/v1/session",
+            {
+                "scenario": scenario_id,
+                "heuristic": heuristic,
+                "pending": list(held),
+            },
+        )
+        if status != 201:
+            with lock:
+                errors[0] += 1
+            return
+        events_url = json.loads(body)["events_url"]
+        footer_seen = False
+        for start in range(0, len(events), batch):
+            chunk = events[start:start + batch]
+            payload = b"".join(
+                json.dumps(ev.to_dict()).encode("ascii") + b"\n" for ev in chunk
+            )
+            started = time.perf_counter()
+            status, body = _post_ndjson(base_url, events_url, payload)
+            elapsed = time.perf_counter() - started
+            lines = body.splitlines()
+            bad = status != 200 or any(
+                b'"record":"error"' in ln for ln in lines
+            )
+            with lock:
+                if bad:
+                    errors[0] += 1
+                else:
+                    latencies.observe(elapsed)
+                    delta_lines[0] += len(lines)
+            if bad:
+                return
+            footer_seen = any(b'"record":"footer"' in ln for ln in lines)
+        if not footer_seen:
+            with lock:
+                errors[0] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"loadgen-sess-{i}")
+        for i in range(clients)
+    ]
+    wall_started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_started
+    batches = latencies.count
+    return {
+        "clients": clients,
+        "sessions": clients,
+        "events_per_session": n_events,
+        "batch": batch,
+        "batches": batches,
+        "errors": errors[0],
+        "delta_lines": delta_lines[0],
+        "wall_seconds": wall,
+        "throughput_eps": (batches * batch) / wall if wall > 0 else 0.0,
+        "latency_seconds": latencies.summary(),
+    }
+
+
+def run_session_loadgen(
+    base_url: str,
+    levels: tuple[int, ...] = (1, 4, 16),
+    n_tasks: int = 24,
+    seed: int = 7,
+    heuristic: str = "slrh1",
+    n_events: int = 16,
+    batch: int = 4,
+    max_cycle: int = 60,
+) -> dict:
+    """Session-mode benchmark against *base_url*; returns the artefact."""
+    from repro.heuristics import generate_named_scenario
+
+    # The local scenario is byte-identical to the registered one — both
+    # sides build it through generate_named_scenario — so the synthesized
+    # event streams are legal on the server's copy.
+    scenario = generate_named_scenario(n_tasks, seed)
+    scenario_id = register_scenario(base_url, n_tasks, seed)
+    results = [
+        run_session_level(
+            base_url,
+            scenario,
+            scenario_id,
+            heuristic,
+            c,
+            n_events,
+            batch,
+            max_cycle,
+            seed,
+        )
+        for c in levels
+    ]
+    metrics = _get_json(base_url, "/metrics")
+    return {
+        "schema": _SCHEMA,
+        "mode": "session",
+        "scenario": {"id": scenario_id, "n_tasks": n_tasks, "seed": seed},
+        "heuristic": heuristic,
+        "events_per_session": n_events,
+        "batch": batch,
+        "max_cycle": max_cycle,
+        "levels": results,
+        "metrics_after": {
+            "derived": metrics.get("derived", {}),
+            "gauges": metrics.get("gauges", {}),
+            "histograms": metrics.get("histograms", {}),
+            "counters": {
+                k: v
+                for k, v in metrics.get("counters", {}).items()
+                if k.startswith(("service.", "registry.", "map.", "session."))
+            },
+        },
+    }
+
+
 def run_loadgen(
     base_url: str,
     levels: tuple[int, ...] = (1, 4, 16),
@@ -219,6 +393,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--url", default=None,
                         help="base URL of a running service (default: self-host)")
+    parser.add_argument("--mode", choices=("map", "session"), default="map",
+                        help="map = one-shot /v1/map requests; session = "
+                        "streaming sessions with synthesized grid events")
+    parser.add_argument("--events", type=int, default=16,
+                        help="[session] events per session")
+    parser.add_argument("--batch", type=int, default=4,
+                        help="[session] events per NDJSON request")
+    parser.add_argument("--max-cycle", type=int, default=60,
+                        help="[session] cycle of the closing event")
     parser.add_argument("--jobs", default=None,
                         help="workers for the self-hosted service (int or 'auto')")
     parser.add_argument("--max-queue", type=int, default=64)
@@ -265,15 +448,27 @@ def main(argv: list[str] | None = None) -> int:
         print(f"self-hosted service on {base_url}", flush=True)
 
     try:
-        doc = run_loadgen(
-            base_url,
-            levels=levels,
-            n_tasks=args.n_tasks,
-            seed=args.seed,
-            heuristic=args.heuristic,
-            requests_per_client=args.requests,
-            max_retries=args.max_retries,
-        )
+        if args.mode == "session":
+            doc = run_session_loadgen(
+                base_url,
+                levels=levels,
+                n_tasks=args.n_tasks,
+                seed=args.seed,
+                heuristic=args.heuristic,
+                n_events=args.events,
+                batch=args.batch,
+                max_cycle=args.max_cycle,
+            )
+        else:
+            doc = run_loadgen(
+                base_url,
+                levels=levels,
+                n_tasks=args.n_tasks,
+                seed=args.seed,
+                heuristic=args.heuristic,
+                requests_per_client=args.requests,
+                max_retries=args.max_retries,
+            )
     finally:
         if server is not None:
             manager.drain(timeout=30)
@@ -287,14 +482,23 @@ def main(argv: list[str] | None = None) -> int:
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     for level in doc["levels"]:
         lat = level["latency_seconds"]
-        print(
-            f"clients={level['clients']:>3}  requests={level['requests']:>4}  "
-            f"throughput={level['throughput_rps']:8.2f} req/s  "
-            f"p50={lat['p50']*1e3:7.1f}ms  p95={lat['p95']*1e3:7.1f}ms  "
-            f"p99={lat['p99']*1e3:7.1f}ms  "
-            f"retries429={level['retries_429']}  gave_up={level['gave_up']}",
-            flush=True,
-        )
+        if args.mode == "session":
+            print(
+                f"clients={level['clients']:>3}  batches={level['batches']:>4}  "
+                f"throughput={level['throughput_eps']:8.2f} ev/s  "
+                f"p50={lat['p50']*1e3:7.1f}ms  p95={lat['p95']*1e3:7.1f}ms  "
+                f"p99={lat['p99']*1e3:7.1f}ms  errors={level['errors']}",
+                flush=True,
+            )
+        else:
+            print(
+                f"clients={level['clients']:>3}  requests={level['requests']:>4}  "
+                f"throughput={level['throughput_rps']:8.2f} req/s  "
+                f"p50={lat['p50']*1e3:7.1f}ms  p95={lat['p95']*1e3:7.1f}ms  "
+                f"p99={lat['p99']*1e3:7.1f}ms  "
+                f"retries429={level['retries_429']}  gave_up={level['gave_up']}",
+                flush=True,
+            )
     print(f"wrote {out}", flush=True)
     return 0
 

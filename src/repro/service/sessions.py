@@ -1,0 +1,383 @@
+"""Live-grid streaming sessions: the service's stateful surface.
+
+A ``/v1/map`` job is one shot — scenario in, mapping out.  An ad hoc
+grid (§I of the paper) is not one shot: tasks appear and machines leave
+and rejoin while the heuristic is already committed to half a mapping.
+A *session* keeps that evolving state on the server: one
+:class:`~repro.session.SessionEngine` (live schedule + persistent
+SLRH kernel fed by precise event deltas, never rebuilt from scratch)
+plus one :class:`~repro.session.DeltaEncoder` that tells the client only
+what changed after each event.
+
+Concurrency model:
+
+* the **manager lock** (``SessionManager._lock``) guards the session
+  table — open, lookup, idle eviction, drain;
+* each **session lock** (``LiveSession.lock``) serialises event
+  application and encoding on that session, so two clients streaming
+  into the same session interleave at event granularity and the delta
+  ``seq`` numbers stay dense.
+
+Sessions are evicted after :attr:`SessionManager.idle_timeout` seconds
+without a request (closed sessions too — the final mapping stays
+retrievable until then), and the table is bounded: opening beyond
+``max_sessions`` live sessions answers 429 upstream.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+import time
+from dataclasses import replace as _dc_replace
+from typing import Iterator, Sequence
+
+from repro.core.kernel import KERNEL_MODES
+from repro.core.objective import Weights
+from repro.heuristics import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    SLRH_FAMILY,
+    WEIGHTED_HEURISTICS,
+    make_scheduler,
+    normalize_heuristic,
+)
+from repro.io.serialization import canonical_json_bytes, mapping_to_dict
+from repro.obs.log import enabled as _obs_enabled
+from repro.obs.log import get_logger
+from repro.perf import PerfCounters
+from repro.service.jobs import DrainingError
+from repro.service.registry import ScenarioRegistry
+from repro.session import DeltaEncoder, SessionEngine, SessionEvent
+
+#: Default bound on concurrently stored sessions (open *or* closed-but-
+#: not-yet-evicted); opening past it is a 429 upstream.
+DEFAULT_MAX_SESSIONS = 64
+
+#: Default seconds of inactivity before a session is evicted.
+DEFAULT_IDLE_TIMEOUT = 900.0
+
+#: Retry-After hint handed to clients bouncing off the session bound.
+_SESSION_RETRY_AFTER = 30
+
+#: SlrhConfig fields a session-open request may override.  Everything
+#: else (weights aside) is pinned to the registry defaults so "same
+#: scenario + heuristic + overrides" means the same mapping everywhere.
+_CONFIG_OVERRIDES = ("delta_t_cycles", "horizon_cycles", "kernel")
+
+_LOG = get_logger("service.sessions")
+
+
+class SessionLimitError(Exception):
+    """The session table is at capacity (HTTP 429 upstream)."""
+
+    def __init__(self, active: int) -> None:
+        super().__init__(
+            f"session table full ({active} live sessions); "
+            f"retry in ~{_SESSION_RETRY_AFTER}s"
+        )
+        self.active = active
+        self.retry_after = _SESSION_RETRY_AFTER
+
+
+def _build_scheduler(canonical: str, body: dict):
+    """Construct the scheduler a session-open request describes.
+
+    Raises ``ValueError`` for weights on a weight-free baseline, config
+    overrides outside the SLRH family, or an unknown kernel mode.
+    """
+    alpha = body.get("alpha")
+    beta = body.get("beta")
+    overrides: dict = {}
+    for key in _CONFIG_OVERRIDES:
+        if body.get(key) is not None:
+            overrides[key] = body[key]
+    if canonical not in SLRH_FAMILY and overrides:
+        raise ValueError(
+            f"{sorted(overrides)} only apply to the SLRH family, "
+            f"not {canonical!r}"
+        )
+    if canonical not in WEIGHTED_HEURISTICS:
+        if alpha is not None or beta is not None:
+            raise ValueError(
+                f"heuristic {canonical!r} does not take objective weights"
+            )
+        return make_scheduler(canonical)
+    weights = Weights.from_alpha_beta(
+        DEFAULT_ALPHA if alpha is None else float(alpha),
+        DEFAULT_BETA if beta is None else float(beta),
+    )
+    scheduler = make_scheduler(canonical, weights)
+    if overrides:
+        for key in ("delta_t_cycles", "horizon_cycles"):
+            if key in overrides:
+                value = overrides[key]
+                if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                    raise ValueError(f"{key} must be a positive integer")
+        if "kernel" in overrides and overrides["kernel"] not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel mode {overrides['kernel']!r}; "
+                f"expected one of {', '.join(KERNEL_MODES)}"
+            )
+        scheduler = scheduler.__class__(
+            _dc_replace(scheduler.config, **overrides)
+        )
+    return scheduler
+
+
+class LiveSession:
+    """One open session: the engine, its delta encoder, and the lock
+    that serialises them.
+
+    Every method takes ``self.lock`` itself; callers never touch the
+    engine or encoder directly.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        scenario_id: str,
+        heuristic: str,
+        engine: SessionEngine,
+        perf: PerfCounters,
+    ) -> None:
+        self.id = session_id
+        self.scenario_id = scenario_id
+        self.heuristic = heuristic  # canonical registry name
+        self.perf = perf  # the service registry (thread-safe itself)
+        self.lock = threading.Lock()
+        self.engine = engine  # guarded-by: lock
+        self.encoder = DeltaEncoder(engine.schedule)  # guarded-by: lock
+        self.last_active = time.monotonic()  # guarded-by: lock
+        self.n_errors = 0  # guarded-by: lock
+        self.accounted = False  # guarded-by: lock
+
+    def stream(self, events: Sequence[SessionEvent]) -> Iterator[bytes]:
+        """Apply *events* in order, yielding each one's delta block (and
+        the footer after ``close``).
+
+        A rejected event (time travel, unknown id, double loss …) yields
+        one ``{"record": "error", ...}`` line and ends the stream; the
+        engine rejects atomically, so the session stays usable and the
+        remaining events of the batch are simply not applied.
+        """
+        with self.lock:
+            self.last_active = time.monotonic()
+            for index, event in enumerate(events):
+                try:
+                    self.engine.apply(event)
+                except (ValueError, IndexError) as exc:
+                    self.n_errors += 1
+                    self.perf.inc("session.event_errors")
+                    yield canonical_json_bytes(
+                        {
+                            "record": "error",
+                            "error": str(exc),
+                            "event_index": index,
+                        }
+                    )
+                    return
+                # No service-level event counter here: the engine already
+                # counts ``session.events`` on its own registry, which is
+                # merged into the service one when the session closes.
+                yield from self.encoder.delta_lines(
+                    cycle=event.cycle, event=event.kind
+                )
+                if self.engine.closed:
+                    yield from self.encoder.footer_lines()
+                    return
+
+    def status_doc(self) -> dict:
+        """JSON-ready status for ``GET /v1/session/<id>``."""
+        with self.lock:
+            engine = self.engine
+            doc = {
+                "session": self.id,
+                "state": "closed" if engine.closed else "open",
+                "scenario": self.scenario_id,
+                "heuristic": self.heuristic,
+                "cursor": engine.cursor,
+                "seq": self.encoder.seq,
+                "n_mapped": engine.schedule.n_mapped,
+                "pending": sorted(engine.pending),
+                "errors": self.n_errors,
+            }
+            if engine.closed:
+                outcome = engine.outcome
+                doc["n_events"] = outcome.n_events
+                doc["rolled_back"] = outcome.total_rolled_back
+                doc["success"] = outcome.final.success
+                doc["heuristic_seconds"] = outcome.final.heuristic_seconds
+            return doc
+
+    def result_bytes(self) -> bytes | None:
+        """Canonical mapping JSON of a closed session (None while open)
+        — byte-identical to an offline replay of the same events."""
+        with self.lock:
+            if not self.engine.closed:
+                return None
+            return canonical_json_bytes(mapping_to_dict(self.engine.schedule))
+
+    def is_closed(self) -> bool:
+        with self.lock:
+            return self.engine.closed
+
+    def take_perf_snapshot(self) -> dict | None:
+        """The engine's perf counters, exactly once (None thereafter) —
+        so closing twice never double-counts in the service registry."""
+        with self.lock:
+            if self.accounted:
+                return None
+            self.accounted = True
+            return self.engine.schedule.perf.snapshot()
+
+
+class SessionManager:
+    """Bounded, idle-evicting table of :class:`LiveSession`."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry,
+        *,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        perf: PerfCounters | None = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if not idle_timeout > 0:
+            raise ValueError("idle_timeout must be positive")
+        self.registry = registry
+        self.max_sessions = max_sessions
+        self.idle_timeout = idle_timeout
+        self.perf = perf if perf is not None else PerfCounters()
+        self._lock = threading.Lock()
+        self._sessions: dict[str, LiveSession] = {}  # guarded-by: _lock
+        self._ids = itertools.count(1)  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
+
+    # -- admission ---------------------------------------------------------
+
+    def open(self, body: dict) -> LiveSession:
+        """Open a session from a ``POST /v1/session`` body.
+
+        Raises ``KeyError`` for an unregistered scenario or unknown
+        heuristic, ``ValueError``/``IndexError`` for a malformed spec,
+        :class:`~repro.service.jobs.DrainingError` during shutdown and
+        :class:`SessionLimitError` at capacity.
+        """
+        scenario_id = body.get("scenario")
+        if not scenario_id:
+            raise ValueError("missing 'scenario' (a registered scenario id)")
+        if scenario_id not in self.registry:
+            raise KeyError(f"scenario {scenario_id!r} is not registered")
+        canonical = normalize_heuristic(body.get("heuristic", "slrh1"))
+        scheduler = _build_scheduler(canonical, body)
+        pending = body.get("pending", [])
+        if not isinstance(pending, list) or any(
+            not isinstance(t, int) or isinstance(t, bool) for t in pending
+        ):
+            raise ValueError("'pending' must be a list of task ids")
+        scenario = self.registry.get_scenario(scenario_id)
+        engine = SessionEngine(scenario, scheduler, pending=pending)
+        with self._lock:
+            if self._draining:
+                self.perf.inc("session.rejected_draining")
+                raise DrainingError("service is draining; not accepting sessions")
+            now = time.monotonic()
+            self._evict_idle_locked(now)
+            if len(self._sessions) >= self.max_sessions:
+                self.perf.inc("session.rejected")
+                raise SessionLimitError(len(self._sessions))
+            session = LiveSession(
+                session_id=f"sess-{next(self._ids):08d}",
+                scenario_id=scenario_id,
+                heuristic=canonical,
+                engine=engine,
+                perf=self.perf,
+            )
+            self._sessions[session.id] = session
+            self.perf.inc("session.opened")
+            self._update_gauges_locked()
+        if _obs_enabled():
+            _LOG.event(
+                "session.opened",
+                session=session.id,
+                scenario=scenario_id,
+                heuristic=canonical,
+                pending=len(engine.pending),
+            )
+        return session
+
+    def get(self, session_id: str) -> LiveSession:
+        """The live session under *session_id* (KeyError when unknown or
+        already evicted)."""
+        with self._lock:
+            self._evict_idle_locked(time.monotonic())
+            return self._sessions[session_id]
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def note_closed(self, session: LiveSession) -> None:
+        """Account a just-closed session: merge its engine counters
+        (plan-cache hit rates …) into the service registry, once."""
+        snapshot = session.take_perf_snapshot()
+        if snapshot is None:
+            return  # a later batch on an already-closed session
+        self.perf.inc("session.closed")
+        self.perf.merge(snapshot)
+        if _obs_enabled():
+            _LOG.event("session.closed", session=session.id)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def drain(self) -> None:
+        """Stop admitting sessions and event batches (503 upstream).
+        In-flight batches are synchronous per request and finish on
+        their own handler threads."""
+        with self._lock:
+            self._draining = True
+            self._update_gauges_locked()
+
+    def _update_gauges_locked(self) -> None:
+        self.perf.set_gauge("session.active", float(len(self._sessions)))
+        self.perf.set_gauge(
+            "session.draining", 1.0 if self._draining else 0.0
+        )
+
+    def _evict_idle_locked(self, now: float) -> None:
+        """Drop sessions idle past the timeout.  A session whose lock is
+        held is in use by definition and never evicted mid-request."""
+        idle_after = self.idle_timeout
+        if not math.isfinite(idle_after):
+            return
+        for sid in list(self._sessions):
+            session = self._sessions[sid]
+            if not session.lock.acquire(blocking=False):
+                continue
+            try:
+                idle = now - session.last_active
+            finally:
+                session.lock.release()
+            if idle > idle_after:
+                del self._sessions[sid]
+                self.perf.inc("session.evicted")
+                if _obs_enabled():
+                    _LOG.event(
+                        "session.evicted",
+                        session=sid,
+                        idle_seconds=round(idle, 3),
+                    )
+        self._update_gauges_locked()

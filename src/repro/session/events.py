@@ -1,0 +1,209 @@
+"""The session event grammar.
+
+One :class:`SessionEvent` is one line of a session's inbound NDJSON
+stream.  Five kinds:
+
+``task_arrival``
+    Subtask *task* becomes visible to the grid at *cycle* (its effective
+    release time moves from "held" to ``cycle × cycle_seconds``).  Only
+    meaningful under a clock-driven (SLRH-family) scheduler — the static
+    baselines have no notion of a task appearing mid-run.
+``machine_loss``
+    Machine *machine* disappears at *cycle*: its assignments (plus all
+    descendants) roll back, physically-performed work is charged as sunk
+    energy, and the machine goes offline.
+``machine_rejoin``
+    A previously lost machine returns at *cycle* with whatever battery it
+    had left.
+``advance``
+    Pure clock movement: replan up to *cycle* with no grid change — the
+    client's way of asking "what has been mapped by now?".
+``close``
+    Finish the session: run the heuristic to completion (or τ) and emit
+    the final delta + footer.
+
+Events carry integer cycles (the SLRH's native clock unit) and must be
+applied in non-decreasing cycle order; the engine rejects time travel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.util.seeding import as_generator, stable_choice
+from repro.workload.scenario import Scenario
+
+#: Every valid ``kind`` value, in documentation order.
+EVENT_KINDS = (
+    "task_arrival",
+    "machine_loss",
+    "machine_rejoin",
+    "advance",
+    "close",
+)
+
+#: Kinds that require a ``task`` field / a ``machine`` field.
+_TASK_KINDS = ("task_arrival",)
+_MACHINE_KINDS = ("machine_loss", "machine_rejoin")
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One grid event in a session's inbound stream."""
+
+    kind: str
+    cycle: int
+    task: int | None = None
+    machine: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown session event kind {self.kind!r}")
+        if self.cycle < 0:
+            raise ValueError("event cycle must be non-negative")
+        if self.kind in _TASK_KINDS:
+            if self.task is None:
+                raise ValueError(f"{self.kind} event requires a task id")
+        elif self.task is not None:
+            raise ValueError(f"{self.kind} event does not take a task id")
+        if self.kind in _MACHINE_KINDS:
+            if self.machine is None:
+                raise ValueError(f"{self.kind} event requires a machine id")
+        elif self.machine is not None:
+            raise ValueError(f"{self.kind} event does not take a machine id")
+
+    def to_dict(self) -> dict:
+        """Wire form: the inbound NDJSON line's document."""
+        doc: dict = {"event": self.kind, "cycle": self.cycle}
+        if self.task is not None:
+            doc["task"] = self.task
+        if self.machine is not None:
+            doc["machine"] = self.machine
+        return doc
+
+
+def event_from_dict(doc: dict) -> SessionEvent:
+    """Parse one inbound NDJSON document into a :class:`SessionEvent`.
+
+    Raises ``ValueError`` on any malformed document — unknown kind,
+    missing/extra ids, non-integer fields — so the service can answer a
+    bad line with a 400 instead of corrupting the session.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("session event must be a JSON object")
+    kind = doc.get("event")
+    if not isinstance(kind, str):
+        raise ValueError("session event requires a string 'event' field")
+    cycle = doc.get("cycle")
+    if not isinstance(cycle, int) or isinstance(cycle, bool):
+        raise ValueError("session event requires an integer 'cycle' field")
+    task = doc.get("task")
+    if task is not None and (not isinstance(task, int) or isinstance(task, bool)):
+        raise ValueError("session event 'task' must be an integer")
+    machine = doc.get("machine")
+    if machine is not None and (
+        not isinstance(machine, int) or isinstance(machine, bool)
+    ):
+        raise ValueError("session event 'machine' must be an integer")
+    extra = set(doc) - {"event", "cycle", "task", "machine"}
+    if extra:
+        raise ValueError(f"unknown session event fields {sorted(extra)}")
+    return SessionEvent(kind=kind, cycle=cycle, task=task, machine=machine)
+
+
+def validate_events(
+    events: Iterable[SessionEvent], scenario: Scenario
+) -> list[SessionEvent]:
+    """Check *events* against *scenario*'s task/machine ranges and the
+    non-decreasing cycle discipline; returns them as a list."""
+    out: list[SessionEvent] = []
+    cursor = 0
+    for ev in events:
+        if ev.cycle < cursor:
+            raise ValueError(
+                f"{ev.kind} at cycle {ev.cycle} arrives after cycle {cursor}"
+            )
+        cursor = ev.cycle
+        if ev.task is not None and not 0 <= ev.task < scenario.n_tasks:
+            raise IndexError(f"no task {ev.task}")
+        if ev.machine is not None and not 0 <= ev.machine < scenario.n_machines:
+            raise IndexError(f"no machine {ev.machine}")
+        out.append(ev)
+    return out
+
+
+def synthesize_events(
+    scenario: Scenario,
+    *,
+    seed: int,
+    n_events: int,
+    max_cycle: int,
+    arrival_fraction: float = 0.5,
+    pending: Iterable[int] | None = None,
+) -> tuple[tuple[int, ...], list[SessionEvent]]:
+    """Deterministically generate a mixed event stream for *scenario*.
+
+    Returns ``(pending, events)``: the task ids held back for mid-session
+    arrival, and a cycle-sorted event list (losses/rejoins alternate per
+    machine so the stream is always legal, arrivals cover every pending
+    task, ``advance`` fills the remainder) ending with a ``close``.  Same
+    seed → same stream, byte for byte — the loadgen, the CI smoke job and
+    the benchmark all replay identical sessions.
+
+    ``pending`` selects the held tasks explicitly; by default the last
+    ``round(arrival_fraction × n_events)``-capped slice of the sink-most
+    task ids is held (children of held tasks would deadlock the replay if
+    a *parent* stayed unreleased while its child arrived, so holding a
+    suffix of the topological order is always safe).
+    """
+    if n_events < 1:
+        raise ValueError("n_events must be positive")
+    if max_cycle < 1:
+        raise ValueError("max_cycle must be positive")
+    rng = as_generator(seed)
+    if pending is None:
+        n_arrivals = min(
+            int(round(arrival_fraction * n_events)), scenario.n_tasks // 2
+        )
+        held = tuple(scenario.dag.topological_order[-n_arrivals:]) if n_arrivals else ()
+    else:
+        held = tuple(pending)
+        n_arrivals = len(held)
+    kinds: list[str] = ["task_arrival"] * n_arrivals
+    while len(kinds) < n_events - 1:
+        kinds.append(str(stable_choice(rng, ("machine_loss", "advance"))))
+    rng.shuffle(kinds)
+    cycles = sorted(int(rng.integers(1, max_cycle)) for _ in range(len(kinds)))
+    arrivals = iter(sorted(held))
+    offline: list[int] = []
+    events: list[SessionEvent] = []
+    for kind, cycle in zip(kinds, cycles):
+        if kind == "task_arrival":
+            events.append(
+                SessionEvent(kind=kind, cycle=cycle, task=next(arrivals))
+            )
+        elif kind == "machine_loss":
+            # Alternate loss/rejoin per stream position: lose a random
+            # online machine, or bring back the longest-lost one when
+            # fewer than two are still up (the grid must keep working).
+            online = [
+                j for j in range(scenario.n_machines) if j not in offline
+            ]
+            if len(online) > 2 and (not offline or float(rng.random()) < 0.6):
+                machine = int(stable_choice(rng, online))
+                offline.append(machine)
+                events.append(
+                    SessionEvent(kind="machine_loss", cycle=cycle, machine=machine)
+                )
+            elif offline:
+                machine = offline.pop(0)
+                events.append(
+                    SessionEvent(kind="machine_rejoin", cycle=cycle, machine=machine)
+                )
+            else:
+                events.append(SessionEvent(kind="advance", cycle=cycle))
+        else:
+            events.append(SessionEvent(kind="advance", cycle=cycle))
+    events.append(SessionEvent(kind="close", cycle=max_cycle))
+    return held, events

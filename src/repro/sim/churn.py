@@ -191,4 +191,17 @@ def _merge_trace(acc, trace):
     # cumulative over the schedule's lifetime — the latest snapshot is the
     # whole-run total, not an increment.
     acc.perf = trace.perf
+    if acc.ledger is not None and trace.ledger is not None:
+        # Ledger continuity: each segment's ledger restarts tick numbering
+        # at 0, so rebase the incoming records onto the accumulated tick
+        # count — ``explain --tick K`` then addresses one global timeline
+        # across every replan segment of a churned/streamed run.
+        from dataclasses import replace
+
+        base = acc.ledger.tick + 1
+        acc.ledger.records.extend(
+            replace(rec, tick=rec.tick + base) if rec.tick >= 0 else rec
+            for rec in trace.ledger.records
+        )
+        acc.ledger.tick += trace.ledger.tick + 1
     return acc

@@ -256,6 +256,15 @@ class Schedule:
         self.external_debits = [0.0] * n_machines
         # Machines currently absent from the ad hoc grid (churn engine).
         self.offline: set[int] = set()
+        # Live per-task release (arrival) times, initialised from the
+        # scenario.  Streaming sessions declare mid-run arrivals through
+        # set_release (a held task sits at +inf until its arrival event);
+        # every planning/pool path reads this list, never the scenario, so
+        # a task arriving between replan segments is gated exactly like a
+        # statically-released one.
+        self._release_times = [
+            scenario.release(t) for t in range(scenario.n_tasks)
+        ]
 
     # -- aggregate metrics --------------------------------------------------
 
@@ -354,6 +363,39 @@ class Schedule:
         """Battery remaining on *j* minus held communication reserves —
         the budget new work may draw on."""
         return self.energy.remaining(j) - self._reserved[j]
+
+    def release(self, task: int) -> float:
+        """Effective release (arrival) time of *task* — the scenario's
+        static release unless :meth:`set_release` moved it (streamed
+        arrivals; ``math.inf`` = not yet arrived)."""
+        return self._release_times[task]
+
+    def release_times_view(self) -> list[float]:
+        """The live per-task release list (read-only view for pool
+        maintainers — index it, never mutate it)."""
+        return self._release_times
+
+    def set_release(self, task: int, at: float) -> None:
+        """Declare *task*'s effective release time (a streamed arrival).
+
+        Raises for mapped tasks: an assignment's start time was planned
+        against the old release and cannot be retroactively legalised —
+        sessions hold unarrived tasks at ``math.inf`` from the start, so a
+        release only ever moves downward onto an unmapped task.
+        """
+        if not 0 <= task < self.scenario.n_tasks:
+            raise IndexError(f"no task {task}")
+        if at < 0.0:
+            raise ValueError("release times must be non-negative")
+        if task in self.assignments:
+            raise ValueError(
+                f"task {task} is already mapped; its release cannot move"
+            )
+        self._release_times[task] = at
+        # A cached comm plan stores local_floor — the release at planning
+        # time — as an immutable replay fact, so the task's entries are
+        # stale the moment the release moves.
+        self._plan_cache.pop(task, None)
 
     def exec_facts(self, task: int, machine: int) -> tuple[tuple[float, float], ...]:
         """Static ``(duration, energy)`` per version for (*task*, *machine*)
@@ -470,8 +512,9 @@ class Schedule:
         grid = scenario.grid
         comms: list[PlannedComm] = []
         # Execution may not begin before the subtask has *arrived* (release
-        # time); under the paper's simplification releases are all zero.
-        local_floor = scenario.release(task)
+        # time, possibly moved by a streamed arrival); under the paper's
+        # simplification releases are all zero.
+        local_floor = self._release_times[task]
         # Deterministic parent order: by completion time, then id.
         parents = scenario.dag.parents[task]
         if len(parents) > 1:
