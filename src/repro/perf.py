@@ -254,6 +254,18 @@ class PerfCounters:
         self._hists.clear()
 
 
+def merge_registries(*registries: "PerfCounters") -> PerfCounters:
+    """A fresh registry with every *registry* folded in, left to right
+    (counters add, gauges last-write-wins in argument order, histograms
+    concatenate).  The inputs are never mutated — this is the shard
+    ``/metrics`` roll-up: global service registry + per-shard registries
+    in, one document out."""
+    total = PerfCounters()
+    for registry in registries:
+        total.merge(registry)
+    return total
+
+
 def merge_snapshots(snapshots: Iterable[Mapping[str, float]]) -> dict[str, float]:
     """Sum an iterable of counter snapshots into one."""
     total = PerfCounters()

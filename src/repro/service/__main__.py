@@ -1,23 +1,26 @@
 """Daemon entry point: ``python -m repro.service``.
 
-Boots the scenario registry, the batching job manager and the HTTP server,
+Boots the scenario registry, the sharded job router and the HTTP server,
 then serves until SIGTERM/SIGINT.  Shutdown is graceful by contract: the
-signal flips the manager into draining mode (new ``/v1/map`` requests get
-503, queued and in-flight jobs run to completion), the worker pool and
-server are torn down, and the process exits 0.
+signal flips the router into draining mode (new ``/v1/map`` requests get
+503, queued and in-flight jobs run to completion on every shard), the
+shard processes and server are torn down, and the process exits 0.
 
 Options::
 
-    --host HOST        bind address            (default 127.0.0.1)
-    --port PORT        TCP port; 0 = ephemeral (default 8000)
-    --jobs N|auto      mapping workers         (default $REPRO_JOBS or 1)
-    --max-queue N      admission-control bound (default 64)
-    --batch-max N      max requests per dispatch wave (default 2×jobs)
-    --max-sessions N   bound on live streaming sessions (default 64)
-    --session-idle S   idle seconds before a session is evicted
-    --drain-grace S    max seconds to wait for drain on shutdown
-    --obs-log PATH     structured NDJSON event log ('-' = stderr; default
-                       $REPRO_OBS_LOG when set, else disabled)
+    --host HOST          bind address            (default 127.0.0.1)
+    --port PORT          TCP port; 0 = ephemeral (default 8000)
+    --shards N|auto      shard worker processes  (default $REPRO_SHARDS,
+                         else --jobs, else 1); 1 = inline, no processes
+    --jobs N|auto        legacy alias for --shards (default $REPRO_JOBS)
+    --max-queue N        per-shard admission bound (default 64)
+    --scenario-cache N   deserialised scenarios kept hot per shard
+                         (default $REPRO_SCENARIO_CACHE or 8)
+    --max-sessions N     bound on live streaming sessions (default 64)
+    --session-idle S     idle seconds before a session is evicted
+    --drain-grace S      max seconds to wait for drain on shutdown
+    --obs-log PATH       structured NDJSON event log ('-' = stderr;
+                         default $REPRO_OBS_LOG when set, else disabled)
 """
 
 from __future__ import annotations
@@ -30,13 +33,14 @@ import threading
 from repro.obs.log import configure as obs_configure
 from repro.obs.log import configure_from_env as obs_configure_from_env
 from repro.service.app import make_server
-from repro.service.jobs import JobManager
+from repro.service.jobs import ShardRouter
 from repro.service.registry import ScenarioRegistry
 from repro.service.sessions import (
     DEFAULT_IDLE_TIMEOUT,
     DEFAULT_MAX_SESSIONS,
     SessionManager,
 )
+from repro.util.parallel import resolve_jobs, resolve_shards
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,13 +51,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000,
                         help="TCP port; 0 picks an ephemeral port")
+    parser.add_argument("--shards", default=None,
+                        help="shard worker processes: integer or 'auto' "
+                        "(default: $REPRO_SHARDS, else --jobs, else 1)")
     parser.add_argument("--jobs", default=None,
-                        help="mapping worker processes: integer or 'auto' "
+                        help="legacy alias for --shards "
                         "(default: $REPRO_JOBS or 1)")
     parser.add_argument("--max-queue", type=int, default=64,
-                        help="bounded job queue size (429 beyond it)")
+                        help="bounded per-shard job queue size (429 beyond it)")
+    parser.add_argument("--scenario-cache", default=None, metavar="N",
+                        help="deserialised scenarios kept hot per shard "
+                        "(default: $REPRO_SCENARIO_CACHE or 8)")
     parser.add_argument("--batch-max", type=int, default=None,
-                        help="max requests batched per dispatch wave")
+                        help=argparse.SUPPRESS)  # pre-shard flag, now inert
     parser.add_argument("--max-sessions", type=int, default=DEFAULT_MAX_SESSIONS,
                         help="bound on live streaming sessions (429 beyond it)")
     parser.add_argument("--session-idle", type=float, default=DEFAULT_IDLE_TIMEOUT,
@@ -74,11 +84,17 @@ def main(argv: list[str] | None = None) -> int:
 
     registry = ScenarioRegistry()
     try:
-        manager = JobManager(
+        if args.shards is not None:
+            n_shards = resolve_shards(args.shards)
+        elif args.jobs is not None:
+            n_shards = resolve_jobs(args.jobs)
+        else:
+            n_shards = resolve_shards(None)
+        manager = ShardRouter(
             registry,
-            n_jobs=args.jobs,
+            shards=n_shards,
             max_queue=args.max_queue,
-            batch_max=args.batch_max,
+            scenario_cache=args.scenario_cache,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -88,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
             max_sessions=args.max_sessions,
             idle_timeout=args.session_idle,
             perf=manager.perf,
+            router=manager,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -97,8 +114,8 @@ def main(argv: list[str] | None = None) -> int:
     host, port = server.server_address[:2]
     print(
         f"repro.service listening on http://{host}:{port} "
-        f"(jobs={manager.pool.n_jobs}, max-queue={manager.max_queue}, "
-        f"batch-max={manager.batch_max}, max-sessions={sessions.max_sessions})",
+        f"(shards={manager.n_shards}, max-queue={manager.max_queue}, "
+        f"max-sessions={sessions.max_sessions})",
         flush=True,
     )
 

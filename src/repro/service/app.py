@@ -50,7 +50,10 @@ Routes (all bodies JSON; streaming endpoints NDJSON):
 ``GET /v1/sessions``
     Live session ids.
 ``GET /healthz``
-    Liveness + drain state.
+    Liveness + drain state, plus one entry per shard (pid, queue depth,
+    busy, seconds since the last heartbeat).  503 the moment any shard
+    process is dead — jobs routed there fail fast, so the probe should
+    too.
 ``GET /metrics``
     The live ``repro.perf/2`` registry: engine counters merged from every
     completed job (plan-cache hit rates …), service gauges (queue depth,
@@ -65,8 +68,9 @@ record with method, path, status, latency and queue depth.
 
 Threading model: :class:`ThreadingHTTPServer` gives one handler thread per
 connection; synchronous ``/v1/map`` handlers block on the job's completion
-event while the single dispatcher thread batches queued jobs over the
-persistent worker pool.
+event while the scenario-affine shard dispatchers (one thread + one
+resident worker process per shard; inline at ``--shards 1``) drain their
+bounded queues.
 """
 
 from __future__ import annotations
@@ -100,6 +104,10 @@ class ServiceServer(ThreadingHTTPServer):
 
     daemon_threads = True
     allow_reuse_address = True
+    # The socketserver default accept backlog (5) drops connections under
+    # the 64-256-client loadgen levels the shard layer is built for; the
+    # kernel clamps this to somaxconn, so a large value is safe anywhere.
+    request_queue_size = 512
 
     def __init__(
         self,
@@ -115,7 +123,9 @@ class ServiceServer(ThreadingHTTPServer):
         self.sessions = (
             sessions
             if sessions is not None
-            else SessionManager(manager.registry, perf=manager.perf)
+            else SessionManager(
+                manager.registry, perf=manager.perf, router=manager
+            )
         )
         self.started_at = time.monotonic()
 
@@ -419,15 +429,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def _get_healthz(self) -> None:
         manager = self.manager
+        health = manager.health_doc()
+        if not health["healthy"]:
+            status, code = "degraded", 503
+        elif manager.draining:
+            status, code = "draining", 200
+        else:
+            status, code = "ok", 200
         self._send_json(
-            200,
+            code,
             {
-                "status": "draining" if manager.draining else "ok",
+                "status": status,
                 "uptime_seconds": time.monotonic() - self.server.started_at,
                 "queue_depth": manager.queue_depth,
                 "inflight": manager.inflight,
                 "scenarios": len(self.server.registry),
                 "sessions": len(self.server.sessions),
+                "shards": health["shards"],
             },
         )
 

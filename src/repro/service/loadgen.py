@@ -27,14 +27,24 @@ the report instead of hanging the benchmark forever.
 
 Usage::
 
-    python -m repro.service.loadgen [--url http://host:port | --jobs N]
+    python -m repro.service.loadgen [--url http://host:port | --shards N]
                                     [--clients 1,4,16] [--requests 8]
                                     [--n-tasks 24] [--seed 7]
                                     [--heuristic slrh1] [--out BENCH_service.json]
 
 Without ``--url`` a service is booted in-process on an ephemeral port
-(with ``--jobs`` workers) and torn down afterwards, so the benchmark is
-one self-contained command.
+(with ``--shards`` worker processes; ``--jobs`` is the legacy alias) and
+torn down afterwards, so the benchmark is one self-contained command.
+
+``--shard-sweep 1,2,4`` (self-host only) runs the whole level set once
+per shard count against a fresh daemon each time and emits the
+``repro.bench.service/2`` artefact: per-shard-count ``shard_sweep``
+entries plus a ``shard_speedup`` summary comparing the highest client
+level's throughput at the largest shard count against one shard.  The
+host's ``cpu_count`` is recorded alongside — a sweep on a single core
+cannot show a parallel speedup and must say so honestly
+(``benchmarks/check_regression.py`` only enforces the 2.5x floor on
+artefacts measured with >= 4 cores).
 
 ``--mode session`` switches to streaming-session clients: each client
 opens a ``/v1/session``, streams a deterministic synthesized grid-event
@@ -47,7 +57,9 @@ back; latency is per event batch and the artefact carries ``"mode":
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
+import os
 import sys
 import threading
 import time
@@ -58,6 +70,7 @@ from pathlib import Path
 from repro.perf import Histogram
 
 _SCHEMA = "repro.bench.service/1"
+_SWEEP_SCHEMA = "repro.bench.service/2"
 _HTTP_TIMEOUT = 600.0
 
 #: Default per-request budget of 429 retries before a client gives up.
@@ -142,7 +155,20 @@ def run_level(
             attempts = 0
             while True:
                 started = time.perf_counter()
-                status, body = _post_json(base_url, "/v1/map", payload)
+                try:
+                    status, body = _post_json(base_url, "/v1/map", payload)
+                except (OSError, http.client.HTTPException):
+                    # A hammered accept backlog resets connections before
+                    # HTTP even starts; that is congestion, not a request
+                    # failure — back off briefly within the same bounded
+                    # retry budget as a 429.
+                    attempts += 1
+                    if attempts > max_retries:
+                        with lock:
+                            errors[0] += 1
+                        break
+                    time.sleep(0.05 * attempts)
+                    continue
                 elapsed = time.perf_counter() - started
                 if status == 429:
                     # Backpressure is not an error, but the retry budget is
@@ -386,6 +412,178 @@ def run_loadgen(
     }
 
 
+class _SelfHosted:
+    """An ephemeral in-process daemon: registry + shard router + server.
+
+    ``with _SelfHosted(n_shards) as base_url:`` boots the whole stack on
+    a loopback ephemeral port and tears it down (drain, HTTP shutdown,
+    shard processes reaped) on exit — the unit the shard sweep repeats
+    per shard count.
+    """
+
+    def __init__(self, n_shards: int = 1, max_queue: int = 64) -> None:
+        from repro.service.app import make_server
+        from repro.service.jobs import ShardRouter
+        from repro.service.registry import ScenarioRegistry
+
+        self.manager = ShardRouter(
+            ScenarioRegistry(), shards=n_shards, max_queue=max_queue
+        )
+        self.server = make_server("127.0.0.1", 0, self.manager)
+        host, port = self.server.server_address[:2]
+        self.base_url = f"http://{host}:{port}"
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, name="loadgen-http", daemon=True
+        )
+        self._thread.start()
+
+    def __enter__(self) -> str:
+        return self.base_url
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.manager.drain(timeout=30)
+        self.server.shutdown()
+        self._thread.join(timeout=10)
+        self.server.server_close()
+        self.manager.close(drain_timeout=0)
+
+
+def run_shard_sweep(
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    levels: tuple[int, ...] = (64, 128, 256),
+    n_tasks: int = 16,
+    seed: int = 7,
+    heuristic: str = "slrh1",
+    requests_per_client: int = 2,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    max_queue: int = 256,
+) -> dict:
+    """The sharding benchmark: the full level set, once per shard count,
+    each against a fresh self-hosted daemon.
+
+    Returns the ``repro.bench.service/2`` artefact: ``shard_sweep``
+    carries one ``{"shards", "levels", "metrics_after"}`` entry per
+    count, ``levels`` mirrors the largest count's levels (so v1
+    consumers keep working), and ``shard_speedup`` compares the highest
+    client level's throughput at ``max(shard_counts)`` vs
+    ``min(shard_counts)``.  ``cpu_count`` records the parallelism that
+    was physically available — the honesty bit the regression gate keys
+    its 2.5x floor on.
+    """
+    if len(shard_counts) < 2:
+        raise ValueError("shard sweep needs at least two shard counts")
+    sweep = []
+    for n_shards in shard_counts:
+        with _SelfHosted(n_shards, max_queue=max_queue) as base_url:
+            doc = run_loadgen(
+                base_url,
+                levels=levels,
+                n_tasks=n_tasks,
+                seed=seed,
+                heuristic=heuristic,
+                requests_per_client=requests_per_client,
+                max_retries=max_retries,
+            )
+        sweep.append(
+            {
+                "shards": n_shards,
+                "levels": doc["levels"],
+                "metrics_after": doc["metrics_after"],
+            }
+        )
+        top = doc["levels"][-1]
+        print(
+            f"shards={n_shards}  clients={top['clients']}  "
+            f"throughput={top['throughput_rps']:8.2f} req/s",
+            flush=True,
+        )
+    baseline = sweep[0]
+    best = sweep[-1]
+    top_clients = max(levels)
+
+    def _rps(entry: dict) -> float:
+        for level in entry["levels"]:
+            if level["clients"] == top_clients:
+                return level["throughput_rps"]
+        return 0.0
+
+    baseline_rps = _rps(baseline)
+    best_rps = _rps(best)
+    cpu_count = os.cpu_count() or 1
+    return {
+        "schema": _SWEEP_SCHEMA,
+        "mode": "map",
+        "cpu_count": cpu_count,
+        "scenario": {"n_tasks": n_tasks, "seed": seed},
+        "heuristic": heuristic,
+        "requests_per_client": requests_per_client,
+        "max_retries": max_retries,
+        "max_queue": max_queue,
+        "levels": best["levels"],
+        "shard_sweep": sweep,
+        "shard_speedup": {
+            "clients": top_clients,
+            "baseline_shards": baseline["shards"],
+            "baseline_rps": baseline_rps,
+            "shards": best["shards"],
+            "rps": best_rps,
+            "speedup": best_rps / baseline_rps if baseline_rps > 0 else 0.0,
+            # A 1-core sweep serialises the shards onto one CPU; the
+            # regression gate only enforces the floor when the artefact
+            # was measured with real parallelism available.
+            "parallel_hardware": cpu_count >= max(shard_counts),
+        },
+    }
+
+
+def measure_shard_speedup(
+    shard_counts: tuple[int, int] = (1, 4),
+    clients: int = 16,
+    requests_per_client: int = 3,
+    n_tasks: int = 32,
+    seed: int = 7,
+    heuristic: str = "slrh1",
+    repeats: int = 2,
+) -> dict:
+    """Live A/B for the regression gate: best-of-*repeats* throughput of
+    one level at ``shard_counts[1]`` shards over ``shard_counts[0]``.
+
+    Arms are interleaved within each repeat (like the other self-
+    normalised gates) so frequency scaling biases both equally.  The
+    queue bound is sized to the client count, so no request is ever
+    rejected and both arms complete identical work.
+    """
+    best: dict[int, float] = {n: 0.0 for n in shard_counts}
+    for _ in range(max(1, repeats)):
+        for n_shards in shard_counts:
+            with _SelfHosted(n_shards, max_queue=max(64, clients * 2)) as base:
+                scenario_id = register_scenario(base, n_tasks, seed)
+                level = run_level(
+                    base, scenario_id, heuristic, clients, requests_per_client
+                )
+            if level["errors"] or level["gave_up"]:
+                raise RuntimeError(
+                    f"shard speedup measurement unsound at {n_shards} shard(s): "
+                    f"{level['errors']} errors, {level['gave_up']} gave up"
+                )
+            best[n_shards] = max(best[n_shards], level["throughput_rps"])
+    baseline_rps = best[shard_counts[0]]
+    sharded_rps = best[shard_counts[1]]
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "n_tasks": n_tasks,
+        "baseline_shards": shard_counts[0],
+        "baseline_rps": round(baseline_rps, 3),
+        "shards": shard_counts[1],
+        "rps": round(sharded_rps, 3),
+        "speedup": round(sharded_rps / baseline_rps, 4) if baseline_rps > 0 else 0.0,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.loadgen",
@@ -402,8 +600,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="[session] events per NDJSON request")
     parser.add_argument("--max-cycle", type=int, default=60,
                         help="[session] cycle of the closing event")
+    parser.add_argument("--shards", default=None,
+                        help="shard processes for the self-hosted service "
+                        "(int or 'auto'; default $REPRO_SHARDS, else --jobs, else 1)")
     parser.add_argument("--jobs", default=None,
-                        help="workers for the self-hosted service (int or 'auto')")
+                        help="legacy alias for --shards")
+    parser.add_argument("--shard-sweep", default=None, metavar="N,N,...",
+                        help="run the whole level set once per shard count "
+                        "(self-host only) and emit the repro.bench.service/2 "
+                        "artefact with a shard_speedup summary")
     parser.add_argument("--max-queue", type=int, default=64)
     parser.add_argument("--clients", default="1,4,16",
                         help="comma-separated concurrency levels")
@@ -425,26 +630,61 @@ def main(argv: list[str] | None = None) -> int:
     if args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
 
-    server = None
-    manager = None
-    serve_thread = None
+    if args.shard_sweep is not None:
+        if args.url:
+            parser.error("--shard-sweep boots its own daemons; drop --url")
+        if args.mode != "map":
+            parser.error("--shard-sweep only supports --mode map")
+        try:
+            shard_counts = tuple(
+                int(c) for c in args.shard_sweep.split(",") if c.strip()
+            )
+        except ValueError:
+            parser.error(
+                f"--shard-sweep must be comma-separated integers, "
+                f"got {args.shard_sweep!r}"
+            )
+        if len(shard_counts) < 2 or any(n < 1 for n in shard_counts):
+            parser.error("--shard-sweep needs at least two positive shard counts")
+        doc = run_shard_sweep(
+            shard_counts,
+            levels=levels,
+            n_tasks=args.n_tasks,
+            seed=args.seed,
+            heuristic=args.heuristic,
+            requests_per_client=args.requests,
+            max_retries=args.max_retries,
+            max_queue=args.max_queue,
+        )
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        speedup = doc["shard_speedup"]
+        print(
+            f"shard speedup @ {speedup['clients']} clients: "
+            f"{speedup['speedup']:.2f}x "
+            f"({speedup['shards']} shards {speedup['rps']:.1f} req/s vs "
+            f"{speedup['baseline_shards']} shard {speedup['baseline_rps']:.1f} "
+            f"req/s, {doc['cpu_count']} CPU core(s))",
+            flush=True,
+        )
+        print(f"wrote {out}", flush=True)
+        return 0
+
+    hosted = None
     if args.url:
         base_url = args.url.rstrip("/")
     else:
-        from repro.service.app import make_server
-        from repro.service.jobs import JobManager
-        from repro.service.registry import ScenarioRegistry
+        from repro.util.parallel import resolve_jobs, resolve_shards
 
-        manager = JobManager(
-            ScenarioRegistry(), n_jobs=args.jobs, max_queue=args.max_queue
-        )
-        server = make_server("127.0.0.1", 0, manager)
-        host, port = server.server_address[:2]
-        base_url = f"http://{host}:{port}"
-        serve_thread = threading.Thread(
-            target=server.serve_forever, name="loadgen-http", daemon=True
-        )
-        serve_thread.start()
+        if args.shards is not None:
+            n_shards = resolve_shards(args.shards)
+        elif args.jobs is not None:
+            n_shards = resolve_jobs(args.jobs)
+        else:
+            n_shards = resolve_shards(None)
+        hosted = _SelfHosted(n_shards, max_queue=args.max_queue)
+        base_url = hosted.base_url
         print(f"self-hosted service on {base_url}", flush=True)
 
     try:
@@ -470,12 +710,8 @@ def main(argv: list[str] | None = None) -> int:
                 max_retries=args.max_retries,
             )
     finally:
-        if server is not None:
-            manager.drain(timeout=30)
-            server.shutdown()
-            serve_thread.join(timeout=10)
-            server.server_close()
-            manager.close(drain_timeout=0)
+        if hosted is not None:
+            hosted.close()
 
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)

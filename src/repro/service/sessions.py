@@ -9,47 +9,56 @@ SLRH kernel fed by precise event deltas, never rebuilt from scratch)
 plus one :class:`~repro.session.DeltaEncoder` that tells the client only
 what changed after each event.
 
+Under the shard layer the kernel no longer lives in the manager: each
+session is routed **shard-affine by session id** (numeric id modulo the
+shard count), its engine+encoder pair is hosted by that one shard's
+:class:`~repro.service.worker.SessionHost` — in exactly one process for
+the session's whole lifetime — and the :class:`LiveSession` here is a
+thin proxy shipping event batches over the shard RPC and yielding the
+delta lines that come back.  Without a router (tests constructing a bare
+``SessionManager``) a private in-process
+:class:`~repro.service.shard.InlineShard` hosts everything, which is the
+pre-shard behaviour exactly.
+
 Concurrency model:
 
 * the **manager lock** (``SessionManager._lock``) guards the session
-  table — open, lookup, idle eviction, drain;
-* each **session lock** (``LiveSession.lock``) serialises event
-  application and encoding on that session, so two clients streaming
-  into the same session interleave at event granularity and the delta
-  ``seq`` numbers stay dense.
+  table — open, lookup, idle eviction, drain — and is held across the
+  shard ``session_open`` RPC so the capacity bound stays exact;
+* each **session lock** (``LiveSession.lock``) serialises event batches
+  on that session, so two clients streaming into the same session
+  interleave at batch granularity and the delta ``seq`` numbers stay
+  dense.
 
 Sessions are evicted after :attr:`SessionManager.idle_timeout` seconds
 without a request (closed sessions too — the final mapping stays
-retrievable until then), and the table is bounded: opening beyond
-``max_sessions`` live sessions answers 429 upstream.
+retrievable until then; the hosting shard drops its kernel), and the
+table is bounded: opening beyond ``max_sessions`` live sessions answers
+429 upstream.
+
+A crashed shard process takes its hosted sessions with it: the next
+event batch on such a session yields one ``{"record": "error", ...}``
+line naming the crash instead of hanging.
 """
 
 from __future__ import annotations
 
-import itertools
 import math
 import threading
 import time
-from dataclasses import replace as _dc_replace
 from typing import Iterator, Sequence
 
-from repro.core.kernel import KERNEL_MODES
-from repro.core.objective import Weights
-from repro.heuristics import (
-    DEFAULT_ALPHA,
-    DEFAULT_BETA,
-    SLRH_FAMILY,
-    WEIGHTED_HEURISTICS,
-    make_scheduler,
-    normalize_heuristic,
-)
-from repro.io.serialization import canonical_json_bytes, mapping_to_dict
+from repro.heuristics import normalize_heuristic
+from repro.io.serialization import canonical_json_bytes
 from repro.obs.log import enabled as _obs_enabled
 from repro.obs.log import get_logger
 from repro.perf import PerfCounters
-from repro.service.jobs import DrainingError
+from repro.service.jobs import DrainingError, ShardRouter
 from repro.service.registry import ScenarioRegistry
-from repro.session import DeltaEncoder, SessionEngine, SessionEvent
+from repro.service.shard import InlineShard
+from repro.service.worker import build_scheduler
+from repro.session import SessionEvent
+from repro.util.parallel import ShardCrashedError
 
 #: Default bound on concurrently stored sessions (open *or* closed-but-
 #: not-yet-evicted); opening past it is a 429 upstream.
@@ -60,11 +69,6 @@ DEFAULT_IDLE_TIMEOUT = 900.0
 
 #: Retry-After hint handed to clients bouncing off the session bound.
 _SESSION_RETRY_AFTER = 30
-
-#: SlrhConfig fields a session-open request may override.  Everything
-#: else (weights aside) is pinned to the registry defaults so "same
-#: scenario + heuristic + overrides" means the same mapping everywhere.
-_CONFIG_OVERRIDES = ("delta_t_cycles", "horizon_cycles", "kernel")
 
 _LOG = get_logger("service.sessions")
 
@@ -81,57 +85,13 @@ class SessionLimitError(Exception):
         self.retry_after = _SESSION_RETRY_AFTER
 
 
-def _build_scheduler(canonical: str, body: dict):
-    """Construct the scheduler a session-open request describes.
-
-    Raises ``ValueError`` for weights on a weight-free baseline, config
-    overrides outside the SLRH family, or an unknown kernel mode.
-    """
-    alpha = body.get("alpha")
-    beta = body.get("beta")
-    overrides: dict = {}
-    for key in _CONFIG_OVERRIDES:
-        if body.get(key) is not None:
-            overrides[key] = body[key]
-    if canonical not in SLRH_FAMILY and overrides:
-        raise ValueError(
-            f"{sorted(overrides)} only apply to the SLRH family, "
-            f"not {canonical!r}"
-        )
-    if canonical not in WEIGHTED_HEURISTICS:
-        if alpha is not None or beta is not None:
-            raise ValueError(
-                f"heuristic {canonical!r} does not take objective weights"
-            )
-        return make_scheduler(canonical)
-    weights = Weights.from_alpha_beta(
-        DEFAULT_ALPHA if alpha is None else float(alpha),
-        DEFAULT_BETA if beta is None else float(beta),
-    )
-    scheduler = make_scheduler(canonical, weights)
-    if overrides:
-        for key in ("delta_t_cycles", "horizon_cycles"):
-            if key in overrides:
-                value = overrides[key]
-                if not isinstance(value, int) or isinstance(value, bool) or value < 1:
-                    raise ValueError(f"{key} must be a positive integer")
-        if "kernel" in overrides and overrides["kernel"] not in KERNEL_MODES:
-            raise ValueError(
-                f"unknown kernel mode {overrides['kernel']!r}; "
-                f"expected one of {', '.join(KERNEL_MODES)}"
-            )
-        scheduler = scheduler.__class__(
-            _dc_replace(scheduler.config, **overrides)
-        )
-    return scheduler
-
-
 class LiveSession:
-    """One open session: the engine, its delta encoder, and the lock
-    that serialises them.
+    """One open session: a proxy over its hosting shard's kernel.
 
-    Every method takes ``self.lock`` itself; callers never touch the
-    engine or encoder directly.
+    Every method takes ``self.lock`` itself; callers never talk to the
+    shard backend directly.  The proxy caches what the HTTP layer needs
+    between batches (closed flag, error count, the close-time perf
+    snapshot) so status checks after a stream don't need another RPC.
     """
 
     def __init__(
@@ -139,98 +99,77 @@ class LiveSession:
         session_id: str,
         scenario_id: str,
         heuristic: str,
-        engine: SessionEngine,
+        backend,
         perf: PerfCounters,
     ) -> None:
         self.id = session_id
         self.scenario_id = scenario_id
         self.heuristic = heuristic  # canonical registry name
-        self.perf = perf  # the service registry (thread-safe itself)
+        self.backend = backend  # hosting shard (RPCs are self-serialising)
+        self.perf = perf  # the service registry (mutated via manager lock paths)
         self.lock = threading.Lock()
-        self.engine = engine  # guarded-by: lock
-        self.encoder = DeltaEncoder(engine.schedule)  # guarded-by: lock
         self.last_active = time.monotonic()  # guarded-by: lock
         self.n_errors = 0  # guarded-by: lock
-        self.accounted = False  # guarded-by: lock
+        self._closed = False  # guarded-by: lock
+        self._perf_snapshot: dict | None = None  # guarded-by: lock
 
     def stream(self, events: Sequence[SessionEvent]) -> Iterator[bytes]:
-        """Apply *events* in order, yielding each one's delta block (and
-        the footer after ``close``).
+        """Apply *events* in order on the hosting shard, yielding each
+        one's delta block (and the footer after ``close``).
 
         A rejected event (time travel, unknown id, double loss …) yields
         one ``{"record": "error", ...}`` line and ends the stream; the
         engine rejects atomically, so the session stays usable and the
-        remaining events of the batch are simply not applied.
+        remaining events of the batch are simply not applied.  A crashed
+        shard yields one error record naming the crash — the stream
+        fails, it never hangs.
         """
         with self.lock:
             self.last_active = time.monotonic()
-            for index, event in enumerate(events):
-                try:
-                    self.engine.apply(event)
-                except (ValueError, IndexError) as exc:
-                    self.n_errors += 1
-                    self.perf.inc("session.event_errors")
-                    yield canonical_json_bytes(
-                        {
-                            "record": "error",
-                            "error": str(exc),
-                            "event_index": index,
-                        }
-                    )
-                    return
-                # No service-level event counter here: the engine already
-                # counts ``session.events`` on its own registry, which is
-                # merged into the service one when the session closes.
-                yield from self.encoder.delta_lines(
-                    cycle=event.cycle, event=event.kind
+            try:
+                reply = self.backend.session_events(
+                    self.id, [event.to_dict() for event in events]
                 )
-                if self.engine.closed:
-                    yield from self.encoder.footer_lines()
-                    return
+            except ShardCrashedError as exc:
+                self.n_errors += 1
+                self.perf.inc("session.event_errors")
+                yield canonical_json_bytes(
+                    {"record": "error", "error": str(exc), "event_index": 0}
+                )
+                return
+            if reply["errors"]:
+                self.n_errors += reply["errors"]
+                self.perf.inc("session.event_errors", reply["errors"])
+            if reply["closed"]:
+                self._closed = True
+                if reply["perf"] is not None:
+                    self._perf_snapshot = reply["perf"]
+            yield from reply["lines"]
 
     def status_doc(self) -> dict:
-        """JSON-ready status for ``GET /v1/session/<id>``."""
+        """JSON-ready status for ``GET /v1/session/<id>`` (one shard RPC)."""
         with self.lock:
-            engine = self.engine
-            doc = {
-                "session": self.id,
-                "state": "closed" if engine.closed else "open",
-                "scenario": self.scenario_id,
-                "heuristic": self.heuristic,
-                "cursor": engine.cursor,
-                "seq": self.encoder.seq,
-                "n_mapped": engine.schedule.n_mapped,
-                "pending": sorted(engine.pending),
-                "errors": self.n_errors,
-            }
-            if engine.closed:
-                outcome = engine.outcome
-                doc["n_events"] = outcome.n_events
-                doc["rolled_back"] = outcome.total_rolled_back
-                doc["success"] = outcome.final.success
-                doc["heuristic_seconds"] = outcome.final.heuristic_seconds
+            doc = self.backend.session_status(self.id)
+            self._closed = doc["state"] == "closed"
             return doc
 
     def result_bytes(self) -> bytes | None:
         """Canonical mapping JSON of a closed session (None while open)
         — byte-identical to an offline replay of the same events."""
         with self.lock:
-            if not self.engine.closed:
-                return None
-            return canonical_json_bytes(mapping_to_dict(self.engine.schedule))
+            return self.backend.session_result(self.id)
 
     def is_closed(self) -> bool:
         with self.lock:
-            return self.engine.closed
+            return self._closed
 
     def take_perf_snapshot(self) -> dict | None:
-        """The engine's perf counters, exactly once (None thereafter) —
-        so closing twice never double-counts in the service registry."""
+        """The engine's close-time perf counters, exactly once (None
+        thereafter) — so closing twice never double-counts in the
+        service registry."""
         with self.lock:
-            if self.accounted:
-                return None
-            self.accounted = True
-            return self.engine.schedule.perf.snapshot()
+            snapshot, self._perf_snapshot = self._perf_snapshot, None
+            return snapshot
 
 
 class SessionManager:
@@ -243,6 +182,7 @@ class SessionManager:
         max_sessions: int = DEFAULT_MAX_SESSIONS,
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
         perf: PerfCounters | None = None,
+        router: ShardRouter | None = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
@@ -252,10 +192,21 @@ class SessionManager:
         self.max_sessions = max_sessions
         self.idle_timeout = idle_timeout
         self.perf = perf if perf is not None else PerfCounters()
+        self.router = router
+        # Routerless managers host every session in-process (pre-shard
+        # behaviour); a router routes each session to one of its shards.
+        self._fallback = None if router is not None else InlineShard(0)
         self._lock = threading.Lock()
         self._sessions: dict[str, LiveSession] = {}  # guarded-by: _lock
-        self._ids = itertools.count(1)  # guarded-by: _lock
+        self._next_id = 1  # guarded-by: _lock
         self._draining = False  # guarded-by: _lock
+
+    def _backend_for_locked(self, numeric_id: int):
+        """The shard backend hosting session *numeric_id* — round-robin
+        over shards, pinned for the session's lifetime."""
+        if self.router is None:
+            return self._fallback
+        return self.router.session_shard(numeric_id).backend
 
     # -- admission ---------------------------------------------------------
 
@@ -273,14 +224,16 @@ class SessionManager:
         if scenario_id not in self.registry:
             raise KeyError(f"scenario {scenario_id!r} is not registered")
         canonical = normalize_heuristic(body.get("heuristic", "slrh1"))
-        scheduler = _build_scheduler(canonical, body)
+        # Validate the scheduler spec here (cheap, and the 400s must not
+        # depend on which shard would host the session); the hosting
+        # shard rebuilds it next to its engine.
+        build_scheduler(canonical, body)
         pending = body.get("pending", [])
         if not isinstance(pending, list) or any(
             not isinstance(t, int) or isinstance(t, bool) for t in pending
         ):
             raise ValueError("'pending' must be a list of task ids")
-        scenario = self.registry.get_scenario(scenario_id)
-        engine = SessionEngine(scenario, scheduler, pending=pending)
+        doc = self.registry.get_doc(scenario_id)
         with self._lock:
             if self._draining:
                 self.perf.inc("session.rejected_draining")
@@ -290,11 +243,19 @@ class SessionManager:
             if len(self._sessions) >= self.max_sessions:
                 self.perf.inc("session.rejected")
                 raise SessionLimitError(len(self._sessions))
+            numeric_id = self._next_id
+            session_id = f"sess-{numeric_id:08d}"
+            backend = self._backend_for_locked(numeric_id)
+            # Holding the lock across the open RPC keeps the capacity
+            # bound exact; engine-construction errors (out-of-range
+            # pending task …) re-raise here with nothing to roll back.
+            opened = backend.session_open(session_id, scenario_id, doc, body)
+            self._next_id = numeric_id + 1
             session = LiveSession(
-                session_id=f"sess-{next(self._ids):08d}",
+                session_id=session_id,
                 scenario_id=scenario_id,
                 heuristic=canonical,
-                engine=engine,
+                backend=backend,
                 perf=self.perf,
             )
             self._sessions[session.id] = session
@@ -306,7 +267,7 @@ class SessionManager:
                 session=session.id,
                 scenario=scenario_id,
                 heuristic=canonical,
-                pending=len(engine.pending),
+                pending=len(opened["pending"]),
             )
         return session
 
@@ -373,6 +334,12 @@ class SessionManager:
                 session.lock.release()
             if idle > idle_after:
                 del self._sessions[sid]
+                try:
+                    # Free the hosting shard's kernel too; a dead shard
+                    # has already lost it.
+                    session.backend.session_discard(sid)
+                except ShardCrashedError:
+                    pass
                 self.perf.inc("session.evicted")
                 if _obs_enabled():
                     _LOG.event(

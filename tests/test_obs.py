@@ -512,7 +512,7 @@ class TestServiceObservability:
         finally:
             disable()
         events = [json.loads(l)["event"] for l in buf.getvalue().splitlines()]
-        for expected in ("job.submitted", "batch.dispatched", "job.finished"):
+        for expected in ("job.submitted", "job.dispatched", "job.finished"):
             assert expected in events, events
 
 
