@@ -11,7 +11,15 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.lint import all_rules, get_rule, lint_paths, render_json, render_text
+from repro.lint import (
+    all_rules,
+    changed_files,
+    get_rule,
+    lint_paths,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,9 +42,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--changed",
+        metavar="BASE-REF",
+        default=None,
+        help=(
+            "diff-aware mode: report findings only in files changed since "
+            "this git ref (whole-program graph is still built over all "
+            "paths)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -75,9 +93,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"repro-lint: no such path: {path}", file=sys.stderr)
             return 2
 
-    report = lint_paths(paths, rule_ids=args.rule)
+    changed: set[Path] | None = None
+    if args.changed is not None:
+        try:
+            changed = changed_files(args.changed)
+        except Exception as exc:
+            print(
+                f"repro-lint: cannot resolve --changed {args.changed}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = lint_paths(paths, rule_ids=args.rule, changed_only=changed)
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report), end="")
     else:
         print(render_text(report, verbose=args.verbose))
     return 0 if report.ok else 1

@@ -8,6 +8,7 @@ import tokenize
 from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import Path
+from typing import Iterator
 
 #: ``# repro-lint: disable=rule-a,rule-b -- justification text``
 _SUPPRESS_RE = re.compile(
@@ -162,7 +163,7 @@ class ParentMap:
     def parent(self, node: ast.AST) -> ast.AST | None:
         return self.parents.get(node)
 
-    def ancestors(self, node: ast.AST):
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
         cur = self.parents.get(node)
         while cur is not None:
             yield cur

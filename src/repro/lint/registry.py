@@ -4,12 +4,20 @@ A rule is a named check scoped to the packages where its invariant holds.
 ``check(ctx)`` yields :class:`~repro.lint.model.Finding`s with
 ``suppressed=False``; the runner applies inline suppressions afterwards so
 rules never need to know about them.
+
+Two kinds of rule exist.  *Per-file* rules (the PR 5 families) see one
+:class:`~repro.lint.model.FileContext` at a time.  *Program* rules
+(``program=True``) see the whole-program
+:class:`~repro.lint.callgraph.Project` built over every file in the run —
+that is what lets them follow call chains and lock orders across modules.
+Both yield plain findings; scope filtering and suppressions are applied
+per finding by the runner, using the file each finding lands in.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.lint.model import FileContext, Finding
 
@@ -34,7 +42,11 @@ class Rule:
         Dotted module prefixes the rule applies to (empty = everywhere
         under the linted tree).
     check:
-        ``FileContext -> Iterable[Finding]``.
+        ``FileContext -> Iterable[Finding]`` for per-file rules;
+        ``Project -> Iterable[Finding]`` when ``program=True``.
+    program:
+        Whole-program rule: runs once per lint invocation against the
+        :class:`~repro.lint.callgraph.Project`, not per file.
     """
 
     def __init__(
@@ -43,7 +55,8 @@ class Rule:
         family: str,
         description: str,
         scopes: tuple[str, ...],
-        check: Callable[[FileContext], Iterable[Finding]],
+        check: Callable[..., Iterable[Finding]],
+        program: bool = False,
     ) -> None:
         if not _RULE_ID_RE.match(rule_id):
             raise ValueError(f"rule id {rule_id!r} is not kebab-case")
@@ -51,16 +64,29 @@ class Rule:
         self.family = family
         self.description = description
         self.scopes = scopes
+        self.program = program
         self._check = check
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.in_scope(self.scopes)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if self.program:
+            raise TypeError(
+                f"rule {self.id!r} is whole-program; use check_program()"
+            )
         for finding in self._check(ctx):
             yield finding
 
-    def finding(self, ctx: FileContext, node, message: str) -> Finding:
+    def check_program(self, project: Any) -> Iterator[Finding]:
+        """Run a ``program=True`` rule against the whole
+        :class:`~repro.lint.callgraph.Project`."""
+        if not self.program:
+            raise TypeError(f"rule {self.id!r} is per-file; use check()")
+        for finding in self._check(project):
+            yield finding
+
+    def finding(self, ctx: FileContext, node: Any, message: str) -> Finding:
         """Convenience constructor stamping this rule's id and *node*'s
         location onto a :class:`Finding`."""
         return Finding(
@@ -83,17 +109,20 @@ def register(
     family: str,
     description: str,
     scopes: tuple[str, ...] = (),
-) -> Callable[[Callable[[FileContext], Iterable[Finding]]], Rule]:
+    program: bool = False,
+) -> Callable[[Callable[..., Iterable[Finding]]], Rule]:
     """Decorator registering a check function as a :class:`Rule`.
 
     The decorated name rebinds to the :class:`Rule` instance, so rule
-    modules can cross-reference each other's scopes if needed.
+    modules can cross-reference each other's scopes if needed.  Pass
+    ``program=True`` for whole-program rules (the check receives the
+    :class:`~repro.lint.callgraph.Project` instead of a file context).
     """
 
-    def wrap(check: Callable[[FileContext], Iterable[Finding]]) -> Rule:
+    def wrap(check: Callable[..., Iterable[Finding]]) -> Rule:
         if rule_id in _REGISTRY:
             raise ValueError(f"duplicate rule id {rule_id!r}")
-        rule = Rule(rule_id, family, description, scopes, check)
+        rule = Rule(rule_id, family, description, scopes, check, program)
         _REGISTRY[rule_id] = rule
         return rule
 

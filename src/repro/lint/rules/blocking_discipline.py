@@ -1,0 +1,143 @@
+"""Blocking-discipline family: no unbounded waits on IPC primitives.
+
+A dispatcher or liveness thread blocked forever in ``Queue.get()`` or
+``Connection.recv()`` cannot notice a dead peer, honor a drain request,
+or let the process exit — the PR 8 liveness design (heartbeats, 503 on a
+dead shard) only works because every wait has a bound.  This rule makes
+that a checked invariant: a blocking ``get``/``put``/``recv`` on a
+receiver the call graph can type as a queue or pipe connection must
+carry a timeout, follow a ``poll()`` on the same receiver, or carry a
+justified suppression (the one legitimate case: a child process whose
+*only* job is to wait for the next command).
+
+``put`` is only flagged on queues constructed with a nonzero
+``maxsize`` — an unbounded queue's ``put`` never blocks, so demanding a
+timeout there would be noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import Project
+from repro.lint.model import Finding
+from repro.lint.registry import register
+
+_SCOPES = ("repro.service", "repro.util")
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    """Queue.get/put signature: ``(block=True, timeout=None)`` after the
+    optional item — any explicit timeout, or ``block=False``, bounds it."""
+    positional = [a for a in call.args]
+    if positional:
+        first = positional[0]
+        if isinstance(first, ast.Constant) and first.value is False:
+            return True  # non-blocking
+        if len(positional) >= 2:
+            return True  # (block, timeout)
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            return True
+        if kw.arg == "block":
+            value = kw.value
+            if isinstance(value, ast.Constant) and value.value is False:
+                return True
+    return False
+
+
+def _put_has_timeout(call: ast.Call) -> bool:
+    """``put(item, block=True, timeout=None)`` — same, shifted by one."""
+    positional = list(call.args)
+    if len(positional) >= 2:
+        second = positional[1]
+        if isinstance(second, ast.Constant) and second.value is False:
+            return True
+        if len(positional) >= 3:
+            return True
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            return True
+        if kw.arg == "block":
+            value = kw.value
+            if isinstance(value, ast.Constant) and value.value is False:
+                return True
+    return False
+
+
+@register(
+    "blocking-call-timeout",
+    "blocking-discipline",
+    "Queue.get / bounded Queue.put / Connection.recv in service and util "
+    "threads must carry a timeout (or follow a poll() on the same "
+    "receiver) so liveness checks and drains can ever run",
+    scopes=_SCOPES,
+    program=True,
+)
+def blocking_call_timeout(project: Project) -> Iterator[Finding]:
+    for func in project.functions_in_scope(_SCOPES):
+        env = project.function_env(func)
+        cls = (
+            project.classes.get(func.class_qname)
+            if func.class_qname is not None
+            else None
+        )
+        polled: set[str] = set()  # receivers poll()ed earlier (by line)
+        calls: list[ast.Call] = [
+            n for n in ast.walk(func.node)
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)
+        ]
+        calls.sort(key=lambda n: (n.lineno, n.col_offset))
+        for node in calls:
+            attr = node.func.attr  # type: ignore[union-attr]
+            receiver = node.func.value  # type: ignore[union-attr]
+            if attr == "poll":
+                polled.add(ast.unparse(receiver))
+                continue
+            if attr not in ("get", "put", "recv", "recv_bytes"):
+                continue
+            kinds = project._expr_kinds(receiver, func.module, env, cls)
+            if attr == "get" and any(
+                k in ("queue", "queue-bounded") for k in kinds
+            ):
+                if not _has_timeout(node):
+                    yield Finding(
+                        rule="blocking-call-timeout",
+                        path=str(func.ctx.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{func.short}: unbounded "
+                            f"{ast.unparse(receiver)}.get() — pass "
+                            f"timeout= so drain/liveness can interrupt it"
+                        ),
+                    )
+            elif attr == "put" and "queue-bounded" in kinds:
+                if not _put_has_timeout(node):
+                    yield Finding(
+                        rule="blocking-call-timeout",
+                        path=str(func.ctx.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{func.short}: blocking put() on bounded "
+                            f"{ast.unparse(receiver)} without timeout="
+                        ),
+                    )
+            elif attr in ("recv", "recv_bytes") and "connection" in kinds:
+                if ast.unparse(receiver) in polled:
+                    continue
+                if node.keywords or node.args:
+                    continue  # not the bare blocking form
+                yield Finding(
+                    rule="blocking-call-timeout",
+                    path=str(func.ctx.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{func.short}: {ast.unparse(receiver)}.recv() "
+                        f"blocks forever — poll() with a timeout first, "
+                        f"or justify the suppression"
+                    ),
+                )

@@ -1,0 +1,81 @@
+"""Guard-verification family: prove the ``_locked`` convention.
+
+The per-file lock-discipline rule *trusts* a function's contract — a
+``*_locked`` name or a ``# requires-lock:`` comment means "my caller
+holds the lock", and any guarded attribute it touches passes.  This rule
+closes the loop over the call graph: every **resolved** call site of a
+contract function must itself provably hold the declared lock (from an
+enclosing ``with``, an ``.acquire()`` interval, or the caller's own
+verified contract).  A call path that reaches guarded state without the
+lock is a race the suffix convention would have hidden.
+
+Duck-resolved call sites (receiver type unknown, matched by method name
+alone) are skipped: an over-approximated receiver would make this rule
+scream about calls that never happen.  Under-approximating keeps every
+finding a real, nameable call edge — caller, line, callee, lock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.callgraph import FunctionInfo, Project, lock_label
+from repro.lint.model import Finding
+from repro.lint.registry import register
+
+_SCOPES = ("repro.service", "repro.session", "repro.util")
+
+
+def _protected_summary(project: Project, target: FunctionInfo) -> str:
+    """What the callee's lock actually protects, for the finding text."""
+    guarded = sorted({attr for attr, _, _ in
+                      project.guarded_attr_accesses(target)})
+    if guarded:
+        return (
+            "; it touches guarded attribute(s) "
+            + ", ".join(f"self.{a}" for a in guarded)
+        )
+    return ""
+
+
+@register(
+    "guard-verified-call",
+    "guard-verification",
+    "a *_locked / '# requires-lock:' function may only be called with its "
+    "declared lock provably held (verified over the call graph, not the "
+    "naming convention)",
+    scopes=_SCOPES,
+    program=True,
+)
+def guard_verified_call(project: Project) -> Iterator[Finding]:
+    for func in project.functions_in_scope(_SCOPES):
+        for site in project.callsites(func):
+            if site.duck:
+                continue
+            held = None  # computed lazily, only when a target has a contract
+            for target in site.targets:
+                required = project.entry_locks(target)
+                if not required or target.name == "__init__":
+                    continue
+                if held is None:
+                    held = project.held_locks(site.node, func)
+                missing = sorted(required - held)
+                if not missing:
+                    continue
+                locks = ", ".join(lock_label(lock) for lock in missing)
+                how = (
+                    "the _locked suffix"
+                    if target.name.endswith("_locked")
+                    else "# requires-lock"
+                )
+                yield Finding(
+                    rule="guard-verified-call",
+                    path=str(func.ctx.path),
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    message=(
+                        f"{func.short} calls {target.short} without holding "
+                        f"{locks} (declared via {how})"
+                        f"{_protected_summary(project, target)}"
+                    ),
+                )

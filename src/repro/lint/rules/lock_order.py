@@ -1,0 +1,190 @@
+"""Lock-order family: whole-program deadlock detection.
+
+Builds a lock-acquisition-order graph over the project: an edge
+``A -> B`` means some thread can *hold* lock ``A`` while *blockingly
+acquiring* lock ``B`` — from a nested ``with`` context, a blocking
+``.acquire()`` call, a call into a function that (transitively) takes
+``B``, or an explicit ``# acquires: <lock>`` annotation.  Any cycle in
+that graph is the classic hold-and-wait condition: two threads entering
+the cycle from different points can each hold the lock the other wants.
+
+Non-blocking acquisitions (``acquire(blocking=False)``) create no edge —
+a thread that cannot wait cannot deadlock — which is exactly why
+``SessionManager._evict_idle_locked`` may probe session locks while
+holding the manager lock.  ``__init__`` bodies also create no edges: the
+object under construction is not yet shared, so its locks cannot
+participate in a hold-and-wait (the guard-verification family is what
+credits ``__init__`` for unguarded attribute writes).
+
+Each cycle is reported once, anchored at its first witness frame, with
+the full witness path (function and line for every hop) in the message.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import (
+    FunctionInfo,
+    LockId,
+    Project,
+    _is_blocking_acquire,
+    lock_label,
+)
+from repro.lint.model import Finding
+from repro.lint.registry import register
+
+_SCOPES = ("repro.service", "repro.session", "repro.util")
+
+#: edge (A, B) -> witness chain [(function qname, line), ...]
+_EdgeMap = dict[tuple[LockId, LockId], list[tuple[str, int]]]
+
+
+def _add_edge(
+    edges: _EdgeMap,
+    held: frozenset[LockId] | set[LockId],
+    lock: LockId,
+    witness: list[tuple[str, int]],
+) -> None:
+    for h in held:
+        if h == lock:
+            continue
+        key = (h, lock)
+        if key not in edges or len(witness) < len(edges[key]):
+            edges[key] = list(witness)
+
+
+def _function_edges(
+    project: Project, func: FunctionInfo, edges: _EdgeMap
+) -> None:
+    exclude: frozenset[LockId] = (
+        project.entry_locks(func) if func.name == "__init__" else frozenset()
+    )
+
+    def held_at(node: ast.AST) -> frozenset[LockId]:
+        return project.held_locks(node, func) - exclude
+
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            held = set(held_at(node))
+            for item in node.items:
+                lock = project.resolve_lock_expr(item.context_expr, func)
+                if lock is None:
+                    continue
+                _add_edge(
+                    edges, held, lock, [(func.qname, node.lineno)]
+                )
+                held.add(lock)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+            and _is_blocking_acquire(node)
+        ):
+            lock = project.resolve_lock_expr(node.func.value, func)
+            if lock is not None:
+                _add_edge(
+                    edges,
+                    held_at(node),
+                    lock,
+                    [(func.qname, node.lineno)],
+                )
+    # Annotated acquisitions happen "somewhere inside": credit them
+    # against the entry contract's held set.
+    notes = [
+        lock for lock, line in project.direct_acquisitions(func)
+        if line == func.node.lineno
+    ]
+    if notes:
+        entry_held = project.entry_locks(func) - exclude
+        for lock in notes:
+            _add_edge(
+                edges, entry_held, lock, [(func.qname, func.node.lineno)]
+            )
+    # Interprocedural: holding locks across a call that (transitively)
+    # acquires more.
+    for site in project.callsites(func):
+        held = held_at(site.node)
+        if not held:
+            continue
+        for target in site.targets:
+            acquired = project.transitive_acquisitions(target)
+            for lock, chain in sorted(acquired.items()):
+                if lock in held:
+                    continue
+                _add_edge(
+                    edges,
+                    held,
+                    lock,
+                    [(func.qname, site.node.lineno)] + chain,
+                )
+
+
+def _cycles(
+    graph: dict[LockId, dict[LockId, list[tuple[str, int]]]]
+) -> list[list[LockId]]:
+    """Elementary cycles, each enumerated once (rooted at its smallest
+    node, successors visited in sorted order for determinism)."""
+    out: list[list[LockId]] = []
+
+    def dfs(
+        start: LockId,
+        cur: LockId,
+        path: list[LockId],
+        visiting: set[LockId],
+    ) -> None:
+        for nxt in sorted(graph.get(cur, {})):
+            if nxt == start:
+                out.append(path + [nxt])
+            elif nxt > start and nxt not in visiting:
+                visiting.add(nxt)
+                dfs(start, nxt, path + [nxt], visiting)
+                visiting.discard(nxt)
+
+    for start in sorted(graph):
+        dfs(start, start, [start], {start})
+    return out
+
+
+def _witness_text(chain: list[tuple[str, int]]) -> str:
+    return " -> ".join(f"{qname}:{line}" for qname, line in chain)
+
+
+@register(
+    "lock-order-cycle",
+    "lock-order",
+    "the project-wide lock-acquisition graph must be acyclic "
+    "(hold A then block on B, hold B then block on A = deadlock)",
+    scopes=_SCOPES,
+    program=True,
+)
+def lock_order_cycle(project: Project) -> Iterator[Finding]:
+    edges: _EdgeMap = {}
+    for func in project.functions_in_scope(_SCOPES):
+        _function_edges(project, func, edges)
+    graph: dict[LockId, dict[LockId, list[tuple[str, int]]]] = {}
+    for (a, b), witness in edges.items():
+        graph.setdefault(a, {})[b] = witness
+    for cycle in _cycles(graph):
+        hops = []
+        for a, b in zip(cycle, cycle[1:]):
+            witness = graph[a][b]
+            hops.append(
+                f"holds {lock_label(a)} then acquires {lock_label(b)} "
+                f"[{_witness_text(witness)}]"
+            )
+        first_edge = graph[cycle[0]][cycle[1]]
+        anchor_qname, anchor_line = first_edge[0]
+        anchor = project.functions[anchor_qname]
+        path_text = " -> ".join(lock_label(lock) for lock in cycle)
+        yield Finding(
+            rule="lock-order-cycle",
+            path=str(anchor.ctx.path),
+            line=anchor_line,
+            col=0,
+            message=(
+                f"potential deadlock: lock-order cycle {path_text}; "
+                + "; ".join(hops)
+            ),
+        )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -61,12 +62,50 @@ def iter_python_files(paths: list[Path]) -> list[Path]:
     return sorted(out)
 
 
+def _apply_suppression(ctx: FileContext, finding: Finding) -> Finding:
+    """The finding, marked suppressed when a matching (justified) inline
+    suppression covers its line."""
+    sup = ctx.suppression_for(finding.rule, finding.line)
+    if sup is None:
+        return finding
+    return Finding(
+        rule=finding.rule,
+        path=finding.path,
+        line=finding.line,
+        col=finding.col,
+        message=finding.message,
+        suppressed=sup.reason is not None,
+        justification=sup.reason,
+    )
+
+
+def _unjustified_findings(ctx: FileContext) -> list[Finding]:
+    """A suppression must carry ``-- justification``; one without it is a
+    finding at the comment's own line (never maskable by itself)."""
+    return [
+        Finding(
+            rule=UNJUSTIFIED,
+            path=str(ctx.path),
+            line=sup.line,
+            col=0,
+            message=(
+                "suppression comment lacks a justification; write "
+                "'# repro-lint: disable=<rule> -- <why this is safe>'"
+            ),
+        )
+        for sup in ctx.suppressions
+        if sup.reason is None
+    ]
+
+
 def lint_file(
     path: Path,
     rules: list[Rule] | None = None,
     module: str | None = None,
 ) -> list[Finding]:
-    """Lint one file; returns every finding (suppressed ones flagged).
+    """Lint one file with the *per-file* rules; returns every finding
+    (suppressed ones flagged).  Whole-program rules are skipped — they
+    need :func:`lint_paths`, which builds the project graph.
 
     *module* overrides the inferred dotted module path (tests use this to
     pin fixture files to arbitrary scopes).
@@ -77,56 +116,110 @@ def lint_file(
     )
     findings: list[Finding] = []
     for rule in rules if rules is not None else all_rules():
-        if not rule.applies_to(ctx):
+        if rule.program or not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
-            sup = ctx.suppression_for(finding.rule, finding.line)
-            if sup is not None:
-                findings.append(
-                    Finding(
-                        rule=finding.rule,
-                        path=finding.path,
-                        line=finding.line,
-                        col=finding.col,
-                        message=finding.message,
-                        suppressed=sup.reason is not None,
-                        justification=sup.reason,
-                    )
-                )
-            else:
-                findings.append(finding)
-    # A suppression must carry "-- justification"; one without it is a
-    # finding at the comment's own line (never maskable by itself).
-    for sup in ctx.suppressions:
-        if sup.reason is None:
-            findings.append(
-                Finding(
-                    rule=UNJUSTIFIED,
-                    path=str(path),
-                    line=sup.line,
-                    col=0,
-                    message=(
-                        "suppression comment lacks a justification; write "
-                        "'# repro-lint: disable=<rule> -- <why this is safe>'"
-                    ),
-                )
-            )
+            findings.append(_apply_suppression(ctx, finding))
+    findings.extend(_unjustified_findings(ctx))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def changed_files(base_ref: str, repo_root: Path | None = None) -> set[Path]:
+    """Absolute paths of files changed since *base_ref* (``git diff`` plus
+    untracked), for ``--changed`` runs."""
+    root = repo_root
+    if root is None:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        root = Path(top.stdout.strip())
+    out: set[Path] = set()
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", base_ref, "--"],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=root,
+    )
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard"],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=root,
+    )
+    for line in diff.stdout.splitlines() + untracked.stdout.splitlines():
+        name = line.strip()
+        if name:
+            out.add((root / name).resolve())
+    return out
 
 
 def lint_paths(
     paths: list[str | Path],
     rule_ids: list[str] | None = None,
+    modules: dict[Path, str] | None = None,
+    changed_only: set[Path] | None = None,
 ) -> LintReport:
-    """Lint every Python file under *paths* with the selected rules."""
+    """Lint every Python file under *paths* with the selected rules.
+
+    Per-file rules run file by file; whole-program rules run once against
+    a :class:`~repro.lint.callgraph.Project` built over the *entire* file
+    set, with each finding then scoped and suppression-checked via the
+    file it lands in.  With *changed_only* (absolute paths), the project
+    graph still covers everything, but only findings in changed files are
+    reported — the diff-aware ``--changed`` mode.
+
+    *modules* overrides inferred dotted module paths per file (tests use
+    this to pin fixtures to arbitrary scopes).
+    """
     selected = (
         [get_rule(rid) for rid in rule_ids] if rule_ids else all_rules()
     )
     report = LintReport(rules_run=tuple(r.id for r in selected))
+    contexts: list[FileContext] = []
     for path in iter_python_files([Path(p) for p in paths]):
+        module = (modules or {}).get(path)
+        contexts.append(
+            FileContext(
+                path,
+                path.read_text(encoding="utf-8"),
+                module if module is not None else module_path_for(path),
+            )
+        )
+
+    def reportable(ctx: FileContext) -> bool:
+        return changed_only is None or ctx.path.resolve() in changed_only
+
+    per_file = [r for r in selected if not r.program]
+    program = [r for r in selected if r.program]
+    by_path = {str(ctx.path): ctx for ctx in contexts}
+    for ctx in contexts:
         report.files_checked += 1
-        report.findings.extend(lint_file(path, selected))
+        if not reportable(ctx):
+            continue
+        for rule in per_file:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                report.findings.append(_apply_suppression(ctx, finding))
+        report.findings.extend(_unjustified_findings(ctx))
+    if program and contexts:
+        from repro.lint.callgraph import build_project
+
+        project = build_project(contexts)
+        for rule in program:
+            for finding in rule.check_program(project):
+                ctx = by_path.get(finding.path)
+                if ctx is None or not reportable(ctx):
+                    continue
+                if not rule.applies_to(ctx):
+                    continue
+                report.findings.append(_apply_suppression(ctx, finding))
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report
 
@@ -159,5 +252,86 @@ def render_json(report: LintReport) -> str:
         "rules_run": list(report.rules_run),
         "counts": report.counts_by_rule(),
         "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(report: LintReport, base_dir: Path | None = None) -> str:
+    """SARIF 2.1.0 output, so CI can annotate PRs via ``upload-sarif``.
+
+    Unsuppressed findings are ``error`` level; justified suppressions are
+    emitted with an ``inSource`` suppression object so viewers show them
+    struck through rather than hiding the history.  URIs are relative to
+    *base_dir* (default: the current directory) when possible.
+    """
+    base = (base_dir or Path.cwd()).resolve()
+
+    def uri(path: str) -> str:
+        p = Path(path).resolve()
+        try:
+            return p.relative_to(base).as_posix()
+        except ValueError:
+            return p.as_posix()
+
+    rule_ids = sorted(
+        set(report.rules_run)
+        | {f.rule for f in report.findings}
+    )
+    try:
+        descriptions = {r.id: r.description for r in all_rules()}
+    except Exception:  # pragma: no cover - registry always importable
+        descriptions = {}
+    results = []
+    for f in report.findings:
+        result: dict[str, object] = {
+            "ruleId": f.rule,
+            "level": "none" if f.suppressed else "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": uri(f.path)},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.suppressed:
+            result["suppressions"] = [
+                {
+                    "kind": "inSource",
+                    "justification": f.justification or "",
+                }
+            ]
+        results.append(result)
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [
+                            {
+                                "id": rid,
+                                "shortDescription": {
+                                    "text": descriptions.get(rid, rid)
+                                },
+                            }
+                            for rid in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -121,7 +121,7 @@ def main(argv: list[str] | None = None) -> int:
 
     stop = threading.Event()
 
-    def request_shutdown(signum, frame):
+    def request_shutdown(signum: int, frame: object) -> None:
         print(f"signal {signal.Signals(signum).name}: draining...", flush=True)
         stop.set()
 

@@ -83,7 +83,7 @@ from repro.io.serialization import canonical_json_bytes
 from repro.obs.log import enabled as _obs_enabled
 from repro.obs.log import get_logger
 from repro.obs.prom import render_prometheus
-from repro.service.jobs import DrainingError, JobManager, QueueFullError
+from repro.service.jobs import DrainingError, Job, JobManager, QueueFullError
 from repro.service.sessions import SessionLimitError, SessionManager
 from repro.session import event_from_dict
 
@@ -111,11 +111,11 @@ class ServiceServer(ThreadingHTTPServer):
 
     def __init__(
         self,
-        address,
+        address: tuple[str, int],
         manager: JobManager,
         quiet: bool = True,
         sessions: SessionManager | None = None,
-    ):
+    ) -> None:
         super().__init__(address, ServiceHandler)
         self.manager = manager
         self.registry = manager.registry
@@ -150,7 +150,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
-    def log_message(self, fmt, *args):  # pragma: no cover - log noise
+    def log_message(self, fmt: str, *args: object) -> None:  # pragma: no cover - log noise
         if not self.server.quiet:
             super().log_message(fmt, *args)
 
@@ -158,7 +158,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def manager(self) -> JobManager:
         return self.server.manager
 
-    def send_response(self, code, message=None):
+    def send_response(self, code: int, message: str | None = None) -> None:
         # Remember the status for the structured access log (the base class
         # offers no other hook between routing and response).
         self._obs_status = code
@@ -194,7 +194,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _send_json(self, status: int, doc: dict, extra_headers: dict | None = None) -> None:
         self._send(status, canonical_json_bytes(doc), extra_headers=extra_headers)
 
-    def _error(self, status: int, message: str, **extra) -> None:
+    def _error(self, status: int, message: str, **extra: object) -> None:
         headers = {}
         if "retry_after" in extra:
             # RFC 9110 §10.2.3: Retry-After carries delta-seconds as a
@@ -514,7 +514,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"no such job endpoint {verb!r}")
 
-    def _job_result(self, job) -> None:
+    def _job_result(self, job: Job) -> None:
         if job.state == "succeeded":
             self._send(
                 200,
@@ -528,7 +528,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         else:
             self._error(500, job.error or f"job {job.id} {job.state}")
 
-    def _stream_events(self, job) -> None:
+    def _stream_events(self, job: Job) -> None:
         """NDJSON progress stream: heartbeats until done, then the trace."""
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")

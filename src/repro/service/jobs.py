@@ -136,10 +136,19 @@ class ShardDispatcher:
     Lock order: the router acquires ``ShardDispatcher._lock`` while
     holding its own; a dispatcher never acquires the router lock while
     holding its own (``_run_job`` records global results *between* lock
-    scopes), so the hierarchy is acyclic.
+    scopes), so the hierarchy is acyclic.  This is no longer just prose:
+    the ``lock-order-cycle`` analysis (``repro.lint.rules.lock_order``)
+    builds the project-wide acquisition graph on every lint run — the
+    audited order today is ``ShardRouter._lock -> ShardDispatcher._lock``
+    and ``SessionManager._lock / LiveSession.lock -> backend locks``,
+    with no reverse edges — and CI fails on any future cycle, with the
+    witness call path in the finding.
     """
 
-    def __init__(self, index: int, backend, router: "ShardRouter") -> None:
+    def __init__(
+        self, index: int, backend: InlineShard | ProcessShard,
+        router: "ShardRouter",
+    ) -> None:
         self.index = index
         self.backend = backend
         self.router = router
@@ -421,6 +430,7 @@ class ShardRouter:
 
     # -- admission ---------------------------------------------------------
 
+    # acquires: ShardDispatcher._lock
     def submit(
         self,
         scenario_id: str,
@@ -583,7 +593,7 @@ class ShardRouter:
 
     # -- metrics -----------------------------------------------------------
 
-    def metrics_document(self, **context) -> dict:
+    def metrics_document(self, **context: object) -> dict:
         """The live ``repro.perf/2`` document served by ``/metrics``: the
         global service registry, the scenario registry's and every
         shard's, rolled into one (counters add, per-shard gauges keep

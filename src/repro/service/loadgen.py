@@ -68,6 +68,7 @@ import urllib.request
 from pathlib import Path
 
 from repro.perf import Histogram
+from repro.workload.scenario import Scenario
 
 _SCHEMA = "repro.bench.service/1"
 _SWEEP_SCHEMA = "repro.bench.service/2"
@@ -218,7 +219,7 @@ def run_level(
 
 def run_session_level(
     base_url: str,
-    scenario,
+    scenario: Scenario,
     scenario_id: str,
     heuristic: str,
     clients: int,
@@ -440,7 +441,7 @@ class _SelfHosted:
     def __enter__(self) -> str:
         return self.base_url
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def close(self) -> None:

@@ -55,7 +55,7 @@ from repro.obs.log import get_logger
 from repro.perf import PerfCounters
 from repro.service.jobs import DrainingError, ShardRouter
 from repro.service.registry import ScenarioRegistry
-from repro.service.shard import InlineShard
+from repro.service.shard import InlineShard, ProcessShard
 from repro.service.worker import build_scheduler
 from repro.session import SessionEvent
 from repro.util.parallel import ShardCrashedError
@@ -99,7 +99,7 @@ class LiveSession:
         session_id: str,
         scenario_id: str,
         heuristic: str,
-        backend,
+        backend: InlineShard | ProcessShard,
         perf: PerfCounters,
     ) -> None:
         self.id = session_id
@@ -201,10 +201,12 @@ class SessionManager:
         self._next_id = 1  # guarded-by: _lock
         self._draining = False  # guarded-by: _lock
 
-    def _backend_for_locked(self, numeric_id: int):
+    def _backend_for_locked(self, numeric_id: int) -> InlineShard | ProcessShard:
         """The shard backend hosting session *numeric_id* — round-robin
         over shards, pinned for the session's lifetime."""
         if self.router is None:
+            if self._fallback is None:  # pragma: no cover - init invariant
+                raise RuntimeError("SessionManager has neither router nor fallback")
             return self._fallback
         return self.router.session_shard(numeric_id).backend
 

@@ -50,7 +50,7 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
 class InlineShard:
     """Single-process backend: the pre-shard code path, kept verbatim."""
 
-    def __init__(self, index: int = 0, scenario_cache=None) -> None:
+    def __init__(self, index: int = 0, scenario_cache: int | None = None) -> None:
         self.index = index
         if scenario_cache is not None:
             _worker.configure_scenario_cache(scenario_cache)
@@ -103,7 +103,7 @@ class InlineShard:
 class ProcessShard:
     """Child-process backend over the :class:`ShardProcess` RPC pipe."""
 
-    def __init__(self, index: int, scenario_cache=None) -> None:
+    def __init__(self, index: int, scenario_cache: int | None = None) -> None:
         self.index = index
         self._proc = ShardProcess(
             shard_main, index=index, args=(scenario_cache,)

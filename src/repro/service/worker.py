@@ -29,6 +29,7 @@ import os
 import threading
 from collections import OrderedDict
 from dataclasses import replace as _dc_replace
+from typing import Any
 
 from repro.core.kernel import KERNEL_MODES, resolve_kernel_mode
 from repro.core.objective import Weights
@@ -151,7 +152,7 @@ def _scenario_for(scenario_id: str, doc: dict) -> tuple[Scenario, dict]:
     return _scenarios.get(scenario_id, doc)
 
 
-def build_scheduler(canonical: str, body: dict):
+def build_scheduler(canonical: str, body: dict) -> Any:
     """Construct the scheduler a session-open request describes.
 
     Raises ``ValueError`` for weights on a weight-free baseline, config
@@ -413,7 +414,9 @@ class SessionHost:
             return len(self._sessions)
 
 
-def shard_main(cmd_conn, results, index: int, scenario_cache=None) -> None:
+def shard_main(
+    cmd_conn: Any, results: Any, index: int, scenario_cache: int | None = None
+) -> None:
     """Shard child main loop: one reply per command, state kept hot.
 
     Commands (plain tuples; first element is the op):
@@ -440,6 +443,7 @@ def shard_main(cmd_conn, results, index: int, scenario_cache=None) -> None:
     sessions = SessionHost()
     while True:
         try:
+            # repro-lint: disable=blocking-call-timeout -- the child's only job is this wait; parent death closes the pipe and the EOFError below exits the loop
             command = cmd_conn.recv()
         except (EOFError, OSError):
             break

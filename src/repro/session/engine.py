@@ -32,7 +32,7 @@ against, and the benchmark's from-scratch arm (``persistent=False``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 import math
 
@@ -94,7 +94,7 @@ class SessionEngine:
     def __init__(
         self,
         scenario: Scenario,
-        scheduler,
+        scheduler: Any,
         *,
         pending: Iterable[int] = (),
         persistent: bool = True,
@@ -312,7 +312,7 @@ class SessionEngine:
 
 def run_with_events(
     scenario: Scenario,
-    scheduler,
+    scheduler: Any,
     events: Sequence[SessionEvent],
     *,
     pending: Iterable[int] | None = None,

@@ -1,0 +1,24 @@
+"""Fixture: unbounded blocking waits the liveness design cannot survive —
+``get()`` with no timeout, a blocking ``put()`` on a bounded queue, and a
+bare ``recv()`` with no prior ``poll()``.
+"""
+
+import multiprocessing
+import queue
+
+
+class Worker:
+    def __init__(self):
+        self._inbox = queue.Queue()
+        self._outbox = queue.Queue(maxsize=8)
+
+    def loop(self):
+        item = self._inbox.get()  # blocking-call-timeout: no bound
+        self._outbox.put(item)  # blocking-call-timeout: bounded queue
+
+
+def pump():
+    ctx = multiprocessing.get_context()
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    send_conn.send("x")
+    return recv_conn.recv()  # blocking-call-timeout: no poll() first

@@ -1,0 +1,33 @@
+"""Fixture: guarded state reached through a helper call, lock not held.
+
+The per-file lock-discipline rule *trusts* ``_bump_locked``'s suffix, so
+the unguarded touch of ``self._total`` inside it passes file-local
+linting.  The whole-program guard-verification rule walks the call graph
+and catches ``racy`` calling it without ``_lock`` — the exact race the
+naming convention was hiding.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # guarded-by: _lock
+
+    def _bump_locked(self):
+        self._total += 1  # fine per-file: *_locked contract
+
+    # requires-lock: _lock
+    def _read(self):
+        return self._total
+
+    def safe(self):
+        with self._lock:
+            self._bump_locked()  # fine: lock provably held
+
+    def racy(self):
+        self._bump_locked()  # guard-verified-call: _lock not held
+
+    def racy_read(self):
+        return self._read()  # guard-verified-call: annotation unhonored

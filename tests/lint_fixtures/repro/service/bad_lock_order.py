@@ -1,0 +1,37 @@
+"""Fixture: a two-lock cycle the lock-order analysis must catch.
+
+``Alpha.forward`` holds ``Alpha._lock`` and calls into ``Beta.grab``
+(which takes ``Beta._lock``); ``Beta.backward`` holds ``Beta._lock`` and
+calls back into ``Alpha.poke`` (which takes ``Alpha._lock``).  Two
+threads entering from opposite ends deadlock — the classic AB/BA cycle.
+"""
+
+import threading
+
+
+class Alpha:
+    def __init__(self, beta: "Beta"):
+        self._lock = threading.Lock()
+        self.beta = beta
+
+    def forward(self):
+        with self._lock:
+            self.beta.grab()  # acquires Beta._lock while holding ours
+
+    def poke(self):
+        with self._lock:
+            return 1
+
+
+class Beta:
+    def __init__(self, alpha: Alpha):
+        self._lock = threading.Lock()
+        self.alpha = alpha
+
+    def grab(self):
+        with self._lock:
+            return 2
+
+    def backward(self):
+        with self._lock:
+            self.alpha.poke()  # lock-order-cycle: the reverse edge

@@ -1,0 +1,43 @@
+"""Fixture: unpicklable payloads crossing a process boundary, plus a
+thread started before the fork.  Every finding here is the kind of bug
+that passes unit tests (same-process) and detonates only under real
+multi-process load.
+"""
+
+import multiprocessing
+import threading
+
+
+def child(conn, results):
+    return conn, results
+
+
+class Sender:
+    def __init__(self):
+        ctx = multiprocessing.get_context()
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        self._cmd = send_conn
+        self._recv = recv_conn
+
+    def ship(self, item):
+        self._cmd.send(item)  # boundary sink: `item` flows to the pipe
+
+
+def setup():
+    ctx = multiprocessing.get_context()
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    results = ctx.Queue()
+    lock = threading.Lock()
+    send_conn.send(lock)  # pipe-unpicklable: a lock through the pipe
+    results.put((1, threading.Thread(target=setup)))  # pipe-unpicklable
+    worker = threading.Thread(target=setup)
+    worker.start()  # thread-before-fork: started before proc.start()
+    proc = ctx.Process(
+        target=child,
+        args=(recv_conn, lock),  # pipe-unpicklable: lock at fork time
+    )
+    proc.start()
+
+
+def misuse(sender: Sender):
+    sender.ship(threading.Lock())  # pipe-unpicklable: via Sender.ship

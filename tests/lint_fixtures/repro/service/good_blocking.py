@@ -1,0 +1,42 @@
+"""Fixture: every wait is bounded — timeouts, non-blocking forms,
+unbounded-queue ``put`` (which never blocks), ``poll()`` before
+``recv()``, and one justified suppression.
+"""
+
+import multiprocessing
+import queue
+
+
+class Worker:
+    def __init__(self):
+        self._inbox = queue.Queue()
+        self._outbox = queue.Queue(maxsize=8)
+
+    def loop(self):
+        item = self._inbox.get(timeout=0.5)  # fine: bounded wait
+        self._outbox.put(item, timeout=0.5)  # fine: bounded wait
+        self._inbox.put(item)  # fine: unbounded queue never blocks
+        return self._inbox.get(False)  # fine: non-blocking form
+
+    def drain(self):
+        try:
+            return self._inbox.get_nowait()  # fine: non-blocking
+        except queue.Empty:
+            return None
+
+
+def pump():
+    ctx = multiprocessing.get_context()
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    send_conn.send("x")
+    if recv_conn.poll(0.5):
+        return recv_conn.recv()  # fine: bounded by the poll above
+    return None
+
+
+def final_drain():
+    ctx = multiprocessing.get_context()
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    send_conn.send("bye")
+    # repro-lint: disable=blocking-call-timeout -- fixture: final drain after peer confirmed exit
+    return recv_conn.recv()

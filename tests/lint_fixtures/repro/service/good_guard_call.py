@@ -1,0 +1,30 @@
+"""Fixture: every contract call site provably holds the declared lock —
+via an enclosing ``with``, an ``.acquire()`` interval, or the caller's
+own verified ``*_locked`` contract (contracts chain through the graph).
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = []  # guarded-by: _lock
+
+    def _append_locked(self, item):
+        self._entries.append(item)
+
+    def record(self, item):
+        with self._lock:
+            self._append_locked(item)
+
+    def record_interval(self, item):
+        self._lock.acquire()
+        try:
+            self._append_locked(item)
+        finally:
+            self._lock.release()
+
+    def _batch_locked(self, items):
+        for item in items:
+            self._append_locked(item)  # fine: caller's contract chains

@@ -1,0 +1,37 @@
+"""Fixture: a strictly hierarchical lock order — no cycle findings.
+
+``Parent`` always acquires downward into ``Child``; the only upward
+touch is a *non-blocking* ``acquire(blocking=False)`` probe (the
+idle-eviction pattern), which cannot hold-and-wait and so creates no
+edge in the acquisition graph.
+"""
+
+import threading
+
+
+class Parent:
+    def __init__(self, child: "Child"):
+        self._lock = threading.Lock()
+        self.child = child
+
+    def down(self):
+        with self._lock:
+            self.child.work()
+
+
+class Child:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def work(self):
+        with self._lock:
+            return 1
+
+    def probe(self, parent: Parent):
+        with self._lock:
+            # Upward, but non-blocking: a thread that cannot wait cannot
+            # deadlock, so this is legal under a Child-held lock.
+            if parent._lock.acquire(blocking=False):
+                parent._lock.release()
+                return True
+            return False

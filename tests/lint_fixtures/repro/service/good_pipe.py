@@ -1,0 +1,27 @@
+"""Fixture: clean process-boundary usage — plain-data payloads, the
+pipe/queue endpoints themselves handed over as fork-time ``Process``
+args (inherited, not pickled), and the traffic thread started only
+*after* the fork.
+"""
+
+import multiprocessing
+import threading
+
+
+def child(conn, results):
+    return conn, results
+
+
+def setup(doc):
+    ctx = multiprocessing.get_context()
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    results = ctx.Queue()
+    proc = ctx.Process(
+        target=child,
+        args=(recv_conn, results),  # fine: endpoints inherit across fork
+    )
+    proc.start()
+    pump = threading.Thread(target=setup, args=(doc,))
+    pump.start()  # fine: after the fork
+    send_conn.send(("job", doc))  # fine: plain tuple of data
+    results.put(("ok", {"n": 1}))  # fine: plain dict payload

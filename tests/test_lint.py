@@ -52,7 +52,28 @@ def test_all_rule_families_are_registered():
         "obs-discipline",
         "lock-discipline",
         "api-hygiene",
+        # whole-program families (PR 10)
+        "lock-order",
+        "guard-verification",
+        "process-boundary",
+        "blocking-discipline",
     }
+
+
+def test_program_rules_are_marked_program():
+    by_family = {}
+    for rule in all_rules():
+        by_family.setdefault(rule.family, []).append(rule)
+    for family in (
+        "lock-order",
+        "guard-verification",
+        "process-boundary",
+        "blocking-discipline",
+    ):
+        assert by_family[family], family
+        assert all(r.program for r in by_family[family])
+    for family in ("determinism", "api-hygiene", "lock-discipline"):
+        assert all(not r.program for r in by_family[family])
 
 
 def test_get_rule_unknown_lists_known_ids():
@@ -300,4 +321,46 @@ def test_mypy_strict_set_covers_mapping_packages():
         "repro.grid.*",
         "repro.workload.*",
         "repro.heuristics",
+        # promoted with the whole-program lint work (PR 10): the
+        # concurrency layer and the analyzer that checks it.
+        "repro.lint.*",
+        "repro.service.*",
+        "repro.session.*",
     }
+
+
+def test_strict_packages_have_fully_annotated_defs():
+    """mypy is CI-only (not installed in the dev container), so enforce
+    the disallow_untyped_defs contract for the promoted packages by AST:
+    every function in repro.lint / repro.service / repro.session has a
+    return annotation and annotations on all non-self/cls parameters."""
+    import ast
+
+    missing: list[str] = []
+    for pkg in ("lint", "service", "session"):
+        for path in sorted((REPO / "src" / "repro" / pkg).rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                args = node.args
+                params = (
+                    args.posonlyargs + args.args + args.kwonlyargs
+                )
+                unannotated = [
+                    a.arg
+                    for a in params
+                    if a.annotation is None and a.arg not in ("self", "cls")
+                ]
+                for star in (args.vararg, args.kwarg):
+                    if star is not None and star.annotation is None:
+                        unannotated.append(f"*{star.arg}")
+                if unannotated or node.returns is None:
+                    missing.append(
+                        f"{path.relative_to(REPO)}:{node.lineno} "
+                        f"{node.name} (params={unannotated}, "
+                        f"returns={'ok' if node.returns else 'missing'})"
+                    )
+    assert missing == [], "\n".join(missing)
